@@ -1,0 +1,31 @@
+# Convenience targets for the DX100 reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick figures examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures: bench
+	@echo "figure tables written to results/"
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/graph_analytics.py
+	$(PYTHON) examples/database_join.py
+	$(PYTHON) examples/compiler_demo.py
+	$(PYTHON) examples/mesh_gradient.py
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,54 @@
+"""Shared main-evaluation sweep for the Figure 9-12 benchmarks.
+
+Runs the 12 paper benchmarks under the baseline, DMP, and DX100
+configurations (scaled presets, see DESIGN.md) exactly once per pytest
+session and caches the results for every figure's bench to consume.
+
+Set ``REPRO_QUICK=1`` to use the reduced QUICK_BENCHMARKS sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.common import SystemConfig
+from repro.sim import RunResult, run_baseline, run_dx100
+from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_cache: dict[str, dict[str, RunResult]] | None = None
+
+
+def benchmark_set():
+    if os.environ.get("REPRO_QUICK"):
+        return QUICK_BENCHMARKS
+    return MAIN_BENCHMARKS
+
+
+def get_results() -> dict[str, dict[str, RunResult]]:
+    """name -> {"baseline": ..., "dmp": ..., "dx100": ...}."""
+    global _cache
+    if _cache is None:
+        _cache = {}
+        for name, factory in benchmark_set().items():
+            runs = {
+                "baseline": run_baseline(
+                    factory(), SystemConfig.baseline_scaled(), warm=False),
+                "dmp": run_baseline(
+                    factory(), SystemConfig.dmp_scaled(), warm=False),
+                "dx100": run_dx100(
+                    factory(), SystemConfig.dx100_scaled(), warm=False),
+            }
+            _cache[name] = runs
+    return _cache
+
+
+def record(name: str, lines: list[str]) -> None:
+    """Write a figure's table to results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)

@@ -1,0 +1,43 @@
+"""Figure 11: core-instruction reduction and cache MPKI reduction.
+
+Paper results: 3.6x geomean instruction reduction (BFS slightly *up* due
+to spin locks — a known non-reproduced detail, see EXPERIMENTS.md);
+6.1x mean LLC MPKI reduction.
+"""
+
+import pytest
+
+from repro.common import geomean
+
+from mainsweep import get_results, record
+
+
+def test_fig11a_instruction_reduction(benchmark):
+    results = benchmark.pedantic(get_results, rounds=1, iterations=1)
+    lines = [f"{'benchmark':8s} {'reduction':>10s}"]
+    reductions = {}
+    for name, runs in results.items():
+        r = runs["baseline"].instructions / runs["dx100"].instructions
+        reductions[name] = r
+        lines.append(f"{name:8s} {r:9.2f}x")
+    gm = geomean(list(reductions.values()))
+    lines.append(f"{'geomean':8s} {gm:9.2f}x  (paper: 3.6x)")
+    record("fig11a_instructions", lines)
+    assert all(r > 1.0 for r in reductions.values())
+    assert 2.0 < gm < 12.0
+
+
+def test_fig11b_mpki_reduction(benchmark):
+    results = benchmark.pedantic(get_results, rounds=1, iterations=1)
+    lines = [f"{'benchmark':8s} {'baseline':>9s} {'dx100':>7s} {'gain':>6s}"]
+    gains = []
+    for name, runs in results.items():
+        b = runs["baseline"].llc_mpki
+        d = runs["dx100"].llc_mpki
+        gain = b / max(d, 1e-3)
+        gains.append(gain)
+        lines.append(f"{name:8s} {b:8.1f} {d:6.1f} {gain:5.1f}x")
+    lines.append(f"mean gain {sum(gains) / len(gains):.1f}x (paper: 6.1x)")
+    record("fig11b_mpki", lines)
+    # Indirect traffic leaves the cache hierarchy under DX100.
+    assert sum(gains) / len(gains) > 2.0

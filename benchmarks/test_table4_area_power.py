@@ -1,0 +1,41 @@
+"""Table 4: DX100 area and power.
+
+Paper result: 4.061 mm^2 / 777 mW at 28 nm, dominated by the 2 MB
+scratchpad; ~1.5 mm^2 at 14 nm = 3.7% of a 4-core Skylake processor.
+"""
+
+import pytest
+
+from repro.common import DX100Config
+from repro.dx100 import area_power, llc_equivalent_mb
+
+from mainsweep import record
+
+
+def test_table4_area_power(benchmark):
+    report = benchmark.pedantic(lambda: area_power(), rounds=3, iterations=1)
+    lines = [f"{'module':<16s} {'area mm2':>9s} {'power mW':>9s}"]
+    for name, (area, power) in report.modules.items():
+        lines.append(f"{name:<16s} {area:9.3f} {power:9.2f}")
+    lines.append(f"{'TOTAL (28nm)':<16s} {report.total_area_mm2:9.3f} "
+                 f"{report.total_power_mw:9.2f}")
+    lines.append(f"14nm area: {report.area_14nm_mm2:.2f} mm2 "
+                 f"(paper ~1.5); overhead {report.overhead_percent:.1f}% "
+                 f"(paper 3.7%)")
+    lines.append(f"LLC-equivalent area: {llc_equivalent_mb():.2f} MB")
+    record("table4_area_power", lines)
+
+    assert report.total_area_mm2 == pytest.approx(4.06, abs=0.02)
+    assert report.total_power_mw == pytest.approx(777.2, abs=1.0)
+    assert report.overhead_percent == pytest.approx(3.7, abs=0.2)
+
+
+def test_table4_tile_size_area_scaling(benchmark):
+    def sweep():
+        return {t: area_power(DX100Config(tile_elems=t)).total_area_mm2
+                for t in (1024, 16384, 32768)}
+
+    areas = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert areas[1024] < areas[16384] < areas[32768]
+    # The scratchpad dominates, so area roughly doubles from 16K to 32K.
+    assert areas[32768] / areas[16384] > 1.6

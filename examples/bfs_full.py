@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A complete BFS application on DX100 (multi-level, validated).
+
+The packaged BFS workload simulates one frontier expansion; this example
+runs breadth-first search *to convergence* on a Kronecker graph, building
+one DX100 program per level:
+
+  per level:  SLD frontier -> ILD H[K]/H[K+1] -> RNG (fuse neighbour
+  ranges) -> ILD adj -> ILD dist -> ALUS EQ INF (condition) -> IST dist
+
+The host manages the frontier between levels (reading the updated distance
+array), which is exactly the paper's programming model: >99% of nodes are
+processed through DX100, the control loop stays on the cores.  The final
+distance array is validated against networkx.
+
+Run:  python examples/bfs_full.py
+"""
+
+import numpy as np
+import networkx as nx
+
+from repro.common import AluOp, DType, SystemConfig
+from repro.dx100 import ProgramBuilder
+from repro.dx100.range_fuser import plan_range_chunks
+from repro.sim.system import SimSystem
+from repro.workloads.gap import make_kron_csr
+
+INF = (1 << 31) - 1
+
+
+def bfs_on_dx100(system: SimSystem, h, adj, source: int) -> np.ndarray:
+    config = system.config.dx100
+    mem, dx = system.hostmem, system.dx100
+    nodes = len(h) - 1
+
+    h_base = mem.place("H", h)
+    adj_base = mem.place("adj", adj)
+    dist0 = np.full(nodes, INF, dtype=np.int64)
+    dist0[source] = 0
+    dist_base = mem.place("dist", dist0)
+    # Level values scattered into dist; one constant array per level.
+    level_base = mem.alloc("levels", nodes, DType.I64)
+
+    dx.preload_pages(mem.base, mem.base + mem.size)
+    frontier = np.array([source], dtype=np.int64)
+    t = 0
+    level = 0
+    total_edges = 0
+    while len(frontier):
+        level += 1
+        mem.view("levels")[:] = level
+        k_name = f"K{level}"
+        k_base = mem.place(k_name, np.sort(frontier))
+        lows, highs = h[frontier], h[frontier + 1]
+        for f0, f1 in plan_range_chunks(lows, highs, config.tile_elems):
+            if (highs[f0:f1] - lows[f0:f1]).sum() == 0:
+                continue
+            pb = ProgramBuilder(config)
+            t_k = pb.sld(DType.I64, k_base, f0, f1)
+            t_hlo = pb.ild(DType.I64, h_base, t_k)
+            t_k1 = pb.alus(DType.I64, AluOp.ADD, t_k, 1)
+            t_hhi = pb.ild(DType.I64, h_base, t_k1)
+            t_outer, t_inner = pb.rng(t_hlo, t_hhi, outer_base=f0)
+            t_adj = pb.ild(DType.I64, adj_base, t_inner)
+            t_dist = pb.ild(DType.I64, dist_base, t_adj)
+            t_cond = pb.alus(DType.I64, AluOp.EQ, t_dist, INF)
+            t_lvl = pb.ild(DType.I64, level_base, t_adj)  # splat of `level`
+            pb.ist(DType.I64, dist_base, t_adj, t_lvl, tc=t_cond)
+            pb.wait(t_adj)
+            t = dx.run_program(pb.build(), t)
+            total_edges += int((highs[f0:f1] - lows[f0:f1]).sum())
+        dist = mem.view("dist")
+        frontier = np.nonzero(dist == level)[0].astype(np.int64)
+        print(f"  level {level}: frontier {len(frontier):6d} nodes, "
+              f"cumulative edges {total_edges:8d}, cycle {t}")
+    return mem.view("dist").copy()
+
+
+def main() -> None:
+    scale, edge_factor = 12, 8
+    rng = np.random.default_rng(42)
+    h, adj = make_kron_csr(scale, edge_factor, rng)
+    nodes = 1 << scale
+    source = int(np.argmax(np.diff(h)))  # highest-degree node
+
+    print(f"BFS to convergence on a Kronecker graph "
+          f"(2^{scale} nodes, {len(adj)} edges), source {source}\n")
+    system = SimSystem(SystemConfig.dx100_scaled(tile_elems=4096),
+                       mem_bytes=1 << 24)
+    dist = bfs_on_dx100(system, h, adj, source)
+
+    # Validate against networkx on the same digraph.
+    g = nx.DiGraph()
+    g.add_nodes_from(range(nodes))
+    for u in range(nodes):
+        for j in range(int(h[u]), int(h[u + 1])):
+            g.add_edge(u, int(adj[j]))
+    expect = nx.single_source_shortest_path_length(g, source)
+    ok = all(
+        (dist[v] == expect.get(v, INF)) or (dist[v] == INF and v not in expect)
+        for v in range(nodes)
+    )
+    reached = int((dist != INF).sum())
+    print(f"\nreached {reached}/{nodes} nodes; "
+          f"distances match networkx: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

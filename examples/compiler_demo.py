@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The DX100 compiler pipeline on a legacy kernel (the paper's Section 4).
+
+Builds the GZP-style kernel ``if (D[i] >= 50) A[B[i]] += C[i]`` in the loop
+IR, then walks the three passes — tiling, indirect-access detection with
+legality analysis, hoisting/sinking into packed ops — and lowers the plan
+to DX100 API calls, which run on the functional simulator and are checked
+against the reference interpreter.  Also shows the Gauss-Seidel kernel the
+legality analysis must (and does) reject.
+
+Run:  python examples/compiler_demo.py
+"""
+
+import numpy as np
+
+from repro.common import AluOp, DType, DX100Config
+from repro.compiler import (
+    ArrayDecl, BinOp, Const, Function, If, Load, Loop, Store, Var,
+    bind_arrays, find_indirect_accesses, hoist, innermost, is_legal,
+    offload_kernel, reference_run, tile_loop,
+)
+from repro.dx100 import FunctionalDX100, HostMemory
+from repro.dx100.isa import Instr
+
+
+def build_kernel(n: int, m: int) -> Function:
+    return Function(
+        "gzp",
+        arrays={
+            "A": ArrayDecl("A", DType.I64, m),
+            "B": ArrayDecl("B", DType.I64, n),
+            "C": ArrayDecl("C", DType.I64, n),
+            "D": ArrayDecl("D", DType.I64, n),
+        },
+        body=[Loop("i", Const(0), Const(n), [
+            If(BinOp(AluOp.GE, Load("D", Var("i")), Const(50)), [
+                Store("A", Load("B", Var("i")), Load("C", Var("i")),
+                      accum=AluOp.ADD),
+            ]),
+        ])],
+    )
+
+
+def main() -> None:
+    n, m = 2048, 1024
+    fn = build_kernel(n, m)
+    rng = np.random.default_rng(7)
+    arrays = {
+        "A": np.zeros(m, dtype=np.int64),
+        "B": rng.integers(0, m, n).astype(np.int64),
+        "C": rng.integers(1, 100, n).astype(np.int64),
+        "D": rng.integers(0, 100, n).astype(np.int64),
+    }
+
+    print("== pass 1: tiling ==")
+    tiled = tile_loop(fn.body[0], tile=512)
+    inner = innermost(tiled)
+    print(f"  outer loop '{tiled.var}' step {tiled.step}; "
+          f"inner loop '{inner.var}'")
+
+    print("== pass 2: detection + legality ==")
+    accesses = find_indirect_accesses(inner)
+    for acc in accesses:
+        print(f"  {acc.kind:5s} {acc.array}[...] depth={acc.depth} "
+              f"cond={'yes' if acc.cond is not None else 'no'} "
+              f"legal={is_legal(inner, acc)}")
+
+    print("== pass 3: hoist/sink into packed ops ==")
+    plan = hoist(inner)
+    print(f"  packed loads: {len(plan.packed_loads)}, "
+          f"packed stores: {len(plan.packed_stores)}, "
+          f"residual stmts: {len(plan.residual)} "
+          f"(full offload: {plan.full_offload})")
+
+    print("== code generation -> DX100 program ==")
+    config = DX100Config(tile_elems=512)
+    mem = HostMemory(1 << 22)
+    bindings = bind_arrays(fn, mem, arrays)
+    kernel = offload_kernel(fn, bindings, config, tile=512)
+    n_instrs = sum(isinstance(x, Instr) for x in kernel.program)
+    print(f"  {len(kernel.chunks)} tile chunks, "
+          f"{n_instrs} DX100 instructions total")
+
+    FunctionalDX100(config, mem).run(kernel.program)
+    expect = reference_run(fn, arrays)
+    assert np.array_equal(mem.view("A"), expect["A"])
+    print("  DX100 result == reference interpreter result\n")
+
+    print("== the Gauss-Seidel exclusion (Section 4.2) ==")
+    gauss = Function(
+        "gauss_seidel",
+        arrays={"A": ArrayDecl("A", DType.I64, n),
+                "B": ArrayDecl("B", DType.I64, n)},
+        body=[Loop("i", Const(0), Const(n), [
+            Store("A", Var("i"),
+                  BinOp(AluOp.ADD, Load("A", Load("B", Var("i"))),
+                        Const(1))),
+        ])],
+    )
+    loop = gauss.body[0]
+    for acc in find_indirect_accesses(loop):
+        print(f"  load of {acc.array} through B: "
+              f"legal={is_legal(loop, acc)} (aliases the store target)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Unstructured-mesh gradients (UME) with the range-loop compiler.
+
+Two parts:
+
+1. The packaged UME kernels (GZZ conditional accumulate, GZZI two-level
+   conditional gather over indirect range loops), run under baseline and
+   DX100 with the paper's Figure 10-style metrics — including the
+   row-buffer hit-rate jump the paper highlights (15% -> 91% on UME).
+
+2. A CSR-style range kernel (``for i: for j in H[i]..H[i+1]``) compiled
+   *automatically* by ``offload_range_kernel`` through the Range Fuser and
+   validated against the reference interpreter.
+
+Run:  python examples/mesh_gradient.py
+"""
+
+import numpy as np
+
+from repro.common import AluOp, DType, DX100Config, SystemConfig
+from repro.compiler import (
+    ArrayDecl, BinOp, Const, Function, Load, Loop, Store, Var, bind_arrays,
+    offload_range_kernel, reference_run,
+)
+from repro.dx100 import FunctionalDX100, HostMemory
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import GZZ, GZZI
+
+
+def packaged_kernels() -> None:
+    print("== UME kernels: baseline vs DX100 ==")
+    for title, factory in [
+        ("GZZ  (RMW A[B[i]] if D[i]>=F)", lambda: GZZ(scale=1 << 15)),
+        ("GZZI (LD A[B[C[j]]] over fused ranges)",
+         lambda: GZZI(scale=1 << 11, zones=1 << 15)),
+    ]:
+        base = run_baseline(factory(), SystemConfig.baseline_scaled(),
+                            warm=False)
+        dx = run_dx100(factory(), SystemConfig.dx100_scaled(), warm=False)
+        print(f"  {title}")
+        print(f"    RBH {base.row_buffer_hit_rate:.2f} -> "
+              f"{dx.row_buffer_hit_rate:.2f}   "
+              f"(paper UME: 0.15 -> 0.91)")
+        print(f"    BW  {base.bandwidth_utilization:.2f} -> "
+              f"{dx.bandwidth_utilization:.2f},  speedup "
+              f"{base.cycles / dx.cycles:.2f}x\n")
+
+
+def compiled_range_kernel() -> None:
+    print("== compiling a range kernel through the Range Fuser ==")
+    zones, corners, points = 512, 6, 2048
+    rng = np.random.default_rng(3)
+    degrees = rng.integers(corners - 2, corners + 3, zones)
+    h = np.zeros(zones + 1, dtype=np.int64)
+    h[1:] = np.cumsum(degrees)
+    nnz = int(h[-1])
+    arrays = {
+        "H": h,
+        "corner2pt": rng.integers(0, points, nnz).astype(np.int64),
+        "field": rng.integers(0, 1 << 16, points).astype(np.int64),
+        "grad": np.zeros(nnz, dtype=np.int64),
+    }
+    # for z in zones: for j in H[z]..H[z+1]: grad[j] = field[corner2pt[j]]
+    fn = Function(
+        "gradient_gather",
+        arrays={name: ArrayDecl(name, DType.I64, len(arr))
+                for name, arr in arrays.items()},
+        body=[Loop("z", Const(0), Const(zones), [
+            Loop("j", Load("H", Var("z")),
+                 Load("H", BinOp(AluOp.ADD, Var("z"), Const(1))), [
+                     Store("grad", Var("j"),
+                           Load("field", Load("corner2pt", Var("j")))),
+                 ]),
+        ])],
+    )
+    expect = reference_run(fn, arrays)
+
+    config = DX100Config(tile_elems=1024)
+    mem = HostMemory(1 << 22)
+    bindings = bind_arrays(fn, mem, arrays)
+    kernel = offload_range_kernel(fn, bindings, h, config, tile=1024)
+    FunctionalDX100(config, mem).run(kernel.program)
+    ok = np.array_equal(mem.view("grad"), expect["grad"])
+    print(f"  {zones} zones, {nnz} corners fused into "
+          f"{len(kernel.chunks)} tile chunks")
+    print(f"  compiled result == interpreter result: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    packaged_kernels()
+    compiled_range_kernel()

@@ -1,0 +1,14 @@
+"""DX100 reproduction: a programmable data access accelerator for
+indirection (Khadem et al., ISCA 2025), with the DRAM / cache / core
+substrates, a DMP prefetcher baseline, an MLIR-analogue compiler, the 12
+evaluation workloads, and the benchmark harness that regenerates every
+figure and table of the paper.
+
+Subpackages: ``repro.common`` (configuration, types), ``repro.dram``,
+``repro.cache``, ``repro.core`` (substrates), ``repro.dx100`` (the
+contribution), ``repro.prefetch`` (DMP), ``repro.compiler``,
+``repro.workloads``, ``repro.sim`` (harness).  ``python -m repro`` is the
+command-line runner.
+"""
+
+__version__ = "1.0.0"

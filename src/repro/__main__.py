@@ -1,0 +1,144 @@
+"""Command-line runner, mirroring the paper artifact's automation scripts.
+
+Usage::
+
+    python -m repro list                      # available benchmarks
+    python -m repro run IS PR --configs baseline dx100
+    python -m repro run --all --quick --csv results/results.csv
+    python -m repro area                      # Table 4
+
+Each run prints a comparison table; ``--csv`` additionally writes the raw
+metrics, like the artifact's ``results.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common import SystemConfig
+from repro.dx100.area import area_power
+from repro.sim import run_baseline, run_dx100
+from repro.sim.report import comparison_table, to_csv
+from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+
+CONFIG_BUILDERS = {
+    "baseline": lambda cores: SystemConfig.baseline_scaled(cores),
+    "dmp": lambda cores: SystemConfig.dmp_scaled(cores),
+    "dx100": lambda cores: SystemConfig.dx100_scaled(cores),
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DX100 reproduction benchmark runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks")
+
+    run = sub.add_parser("run", help="run benchmarks")
+    run.add_argument("benchmarks", nargs="*",
+                     help="benchmark names (see `list`)")
+    run.add_argument("--all", action="store_true",
+                     help="run all 12 benchmarks")
+    run.add_argument("--quick", action="store_true",
+                     help="use the reduced dataset sizes")
+    run.add_argument("--configs", nargs="+", default=["baseline", "dx100"],
+                     choices=sorted(CONFIG_BUILDERS))
+    run.add_argument("--cores", type=int, default=4)
+    run.add_argument("--csv", metavar="PATH",
+                     help="also write raw metrics as CSV")
+    run.add_argument("--stats-dir", metavar="DIR",
+                     help="write a full gem5-style stats dump per run")
+
+    sub.add_parser("area", help="print the Table 4 area/power breakdown")
+    return parser
+
+
+def cmd_list() -> int:
+    print(f"{'name':8s} {'suite':10s} pattern")
+    for name, factory in MAIN_BENCHMARKS.items():
+        wl = QUICK_BENCHMARKS[name]()
+        print(f"{name:8s} {wl.suite:10s} {wl.pattern}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run the selected benchmarks under the selected configurations."""
+    registry = QUICK_BENCHMARKS if args.quick else MAIN_BENCHMARKS
+    names = list(registry) if args.all else args.benchmarks
+    if not names:
+        print("no benchmarks selected (name them or pass --all)",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    results: dict[str, dict] = {}
+    flat = []
+    for name in names:
+        runs = {}
+        for config_name in args.configs:
+            config = CONFIG_BUILDERS[config_name](args.cores)
+            wl = registry[name]()
+            if config_name == "dx100":
+                runs[config_name] = run_dx100(wl, config, warm=False)
+            else:
+                runs[config_name] = run_baseline(wl, config, warm=False)
+            flat.append(runs[config_name])
+            print(f"  done: {name} [{config_name}]", file=sys.stderr)
+        results[name] = runs
+    if args.stats_dir:
+        # Per-run stats dumps require re-running with a retained system;
+        # dump one representative system per (benchmark, config) instead.
+        from pathlib import Path
+        from repro.sim.statsdump import write_stats
+        from repro.sim.system import SimSystem
+        out_dir = Path(args.stats_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            config = CONFIG_BUILDERS[args.configs[0]](args.cores)
+            system = SimSystem(config)
+            wl = registry[name]()
+            wl.generate(system.hostmem)
+            system.multicore.run(wl.baseline_traces(config.cores))
+            system.dram.drain()
+            write_stats(system, out_dir / f"{name}.stats.txt")
+    print(comparison_table(results))
+    if args.csv:
+        to_csv(flat, args.csv)
+        print(f"\nraw metrics written to {args.csv}")
+    return 0
+
+
+def cmd_area() -> int:
+    """Print the Table 4 area/power breakdown."""
+    report = area_power()
+    print(f"{'module':<16s} {'area mm2':>9s} {'power mW':>9s}")
+    for name, (area, power) in report.modules.items():
+        print(f"{name:<16s} {area:9.3f} {power:9.2f}")
+    print(f"{'TOTAL (28nm)':<16s} {report.total_area_mm2:9.3f} "
+          f"{report.total_power_mw:9.2f}")
+    print(f"14nm: {report.area_14nm_mm2:.2f} mm2, "
+          f"{report.overhead_percent:.1f}% of a 4-core processor")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "area":
+        return cmd_area()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Cache substrate: set-associative caches, MSHRs, prefetchers, hierarchy."""
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import AccessResult, MemoryHierarchy
+from repro.cache.mshr import MSHREntry, MSHRFile
+from repro.cache.prefetcher import StridePrefetcher
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "MemoryHierarchy",
+    "MSHREntry",
+    "MSHRFile",
+    "StridePrefetcher",
+]

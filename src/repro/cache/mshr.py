@@ -1,0 +1,81 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding line fills per cache and
+coalesces repeated misses to the same line onto one fill — both effects the
+paper identifies as limiting the baseline's memory-level parallelism
+(Section 2.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.stats import Stats
+from repro.common.types import DRAMRequest
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding line fill."""
+
+    line_addr: int
+    allocated_at: int
+    request: DRAMRequest | None = None   # None when filled from a lower cache
+    ready: int = -1                      # known completion, if already resolved
+    waiters: int = 0
+
+    def resolve(self, ready: int) -> None:
+        self.ready = ready
+
+
+class MSHRFile:
+    """Bounded set of outstanding misses with same-line coalescing."""
+
+    def __init__(self, capacity: int, stats: Stats | None = None,
+                 name: str = "mshr") -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        self._entries: OrderedDict[int, MSHREntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> MSHREntry | None:
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            entry.waiters += 1
+            self.stats.add(f"{self.name}_coalesced")
+        return entry
+
+    def allocate(self, line_addr: int, allocated_at: int) -> MSHREntry:
+        if self.full:
+            raise RuntimeError(f"{self.name} full; release an entry first")
+        if line_addr in self._entries:
+            raise ValueError(f"line {line_addr:#x} already outstanding")
+        entry = MSHREntry(line_addr=line_addr, allocated_at=allocated_at)
+        self._entries[line_addr] = entry
+        self.stats.add(f"{self.name}_allocations")
+        return entry
+
+    def release(self, line_addr: int) -> MSHREntry:
+        entry = self._entries.pop(line_addr, None)
+        if entry is None:
+            raise KeyError(f"line {line_addr:#x} not outstanding")
+        return entry
+
+    def oldest(self) -> MSHREntry:
+        """FIFO-oldest entry — the one a full-MSHR stall waits on."""
+        if not self._entries:
+            raise RuntimeError("MSHR file is empty")
+        return next(iter(self._entries.values()))
+
+    def entries(self) -> list[MSHREntry]:
+        return list(self._entries.values())

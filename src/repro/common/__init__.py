@@ -1,0 +1,44 @@
+"""Shared types, configuration presets, and statistics."""
+
+from repro.common.config import (
+    CACHE_LINE,
+    CacheConfig,
+    CoreConfig,
+    DDR4Timing,
+    DRAMConfig,
+    DX100Config,
+    SystemConfig,
+    ns_to_cycles,
+)
+from repro.common.stats import Stats, geomean
+from repro.common.types import (
+    AccessType,
+    AluOp,
+    DRAMCoord,
+    DRAMRequest,
+    DType,
+    HitLevel,
+    Interval,
+    MemOp,
+)
+
+__all__ = [
+    "CACHE_LINE",
+    "AccessType",
+    "AluOp",
+    "CacheConfig",
+    "CoreConfig",
+    "DDR4Timing",
+    "DRAMConfig",
+    "DRAMCoord",
+    "DRAMRequest",
+    "DType",
+    "DX100Config",
+    "HitLevel",
+    "Interval",
+    "MemOp",
+    "Stats",
+    "SystemConfig",
+    "geomean",
+    "ns_to_cycles",
+]

@@ -1,0 +1,81 @@
+"""Lightweight statistics counters used throughout the simulator.
+
+Every component owns a :class:`Stats` and records named counters, weighted
+averages, and histograms; the simulation harness merges them into the
+per-run metric set the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stats:
+    """Named counters with a few derived-metric helpers."""
+
+    counters: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    _wsum: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    _wweight: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    hists: dict[str, dict[int, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def observe(self, name: str, value: float, weight: float = 1.0) -> None:
+        """Accumulate a weighted average (e.g. occupancy over time)."""
+        self._wsum[name] += value * weight
+        self._wweight[name] += weight
+
+    def bucket(self, name: str, key: int, amount: int = 1) -> None:
+        self.hists[name][key] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def mean(self, name: str, default: float = 0.0) -> float:
+        w = self._wweight.get(name, 0.0)
+        if w == 0.0:
+            return default
+        return self._wsum[name] / w
+
+    def ratio(self, num: str, den: str, default: float = 0.0) -> float:
+        d = self.counters.get(den, 0.0)
+        if d == 0.0:
+            return default
+        return self.counters.get(num, 0.0) / d
+
+    def merge(self, other: "Stats") -> None:
+        for k, v in other.counters.items():
+            self.counters[k] += v
+        for k in other._wsum:
+            self._wsum[k] += other._wsum[k]
+            self._wweight[k] += other._wweight[k]
+        for name, hist in other.hists.items():
+            for key, amount in hist.items():
+                self.hists[name][key] += amount
+
+    def as_dict(self) -> dict[str, float]:
+        out = dict(self.counters)
+        for k in self._wweight:
+            out[f"{k}:mean"] = self.mean(k)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v:g}" for k, v in sorted(self.counters.items()))
+        return f"Stats({items})"
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean, as used for the paper's headline speedups."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,176 @@
+"""Core value types shared by every subsystem.
+
+The simulator is request-granular: components exchange :class:`MemOp`
+(core-side memory operations) and :class:`DRAMRequest` (controller-side DRAM
+transactions) records, each carrying the timing fields the models fill in as
+the request moves through the system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    """Kind of memory operation, as seen by the core or by DX100."""
+
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+    PREFETCH = "prefetch"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (AccessType.STORE, AccessType.RMW)
+
+
+class HitLevel(enum.Enum):
+    """Where in the memory hierarchy an access was satisfied."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LLC = "llc"
+    DRAM = "dram"
+    SPD = "spd"  # DX100 scratchpad
+
+
+class AluOp(enum.Enum):
+    """ALU operations supported by the DX100 ISA (Table 2)."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHR = "shr"
+    SHL = "shl"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in _COMPARISONS
+
+    @property
+    def is_commutative_associative(self) -> bool:
+        """Whether the op is legal for IRMW (reorderable updates)."""
+        return self in _RMW_SAFE
+
+
+_COMPARISONS = frozenset(
+    {AluOp.LT, AluOp.LE, AluOp.GT, AluOp.GE, AluOp.EQ}
+)
+_RMW_SAFE = frozenset(
+    {AluOp.ADD, AluOp.MIN, AluOp.MAX, AluOp.AND, AluOp.OR, AluOp.XOR}
+)
+
+
+class DType(enum.Enum):
+    """Element data types supported by DX100 (Table 2)."""
+
+    U32 = "u32"
+    I32 = "i32"
+    F32 = "f32"
+    U64 = "u64"
+    I64 = "i64"
+    F64 = "f64"
+
+    @property
+    def nbytes(self) -> int:
+        return 4 if self in (DType.U32, DType.I32, DType.F32) else 8
+
+    @property
+    def numpy_name(self) -> str:
+        return {
+            DType.U32: "uint32",
+            DType.I32: "int32",
+            DType.F32: "float32",
+            DType.U64: "uint64",
+            DType.I64: "int64",
+            DType.F64: "float64",
+        }[self]
+
+
+@dataclass(slots=True)
+class MemOp:
+    """One core-side memory operation in a trace.
+
+    ``deps`` are indices of earlier ops in the same per-core trace whose
+    completion this op's address depends on (index loads feeding an indirect
+    access).  ``extra_instrs`` is the number of non-memory instructions
+    (address arithmetic, loop control) attributed to this op; they consume
+    frontend bandwidth and model the paper's instruction-count results.
+    """
+
+    kind: AccessType
+    addr: int
+    size: int = 8
+    deps: tuple[int, ...] = ()
+    extra_instrs: int = 0
+    atomic: bool = False
+    pc: int = 0
+    tag: int = -1  # loop-iteration id, used by the DMP prefetcher model
+    # Timing results, filled by the core model.
+    issue: int = -1
+    complete: int = -1
+    level: HitLevel | None = None
+
+
+@dataclass(slots=True)
+class DRAMRequest:
+    """A cache-line transaction presented to a memory controller."""
+
+    addr: int
+    is_write: bool
+    arrival: int
+    meta: object = None
+    # Results, filled by the controller.
+    start: int = -1
+    finish: int = -1
+    row_hit: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.finish >= 0
+
+
+@dataclass(slots=True)
+class DRAMCoord:
+    """Decoded DRAM coordinates of a physical address."""
+
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def flat_bank(self) -> tuple[int, int, int, int]:
+        return (self.channel, self.rank, self.bankgroup, self.bank)
+
+
+@dataclass
+class Interval:
+    """A half-open address interval [lo, hi), used by alias analysis and the
+    DX100 coherence regions."""
+
+    lo: int
+    hi: int
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def contains(self, addr: int) -> bool:
+        return self.lo <= addr < self.hi
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi})")

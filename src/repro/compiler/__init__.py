@@ -1,0 +1,30 @@
+"""The DX100 compiler: loop IR, passes, and DX100 code generation."""
+
+from repro.compiler.analysis import (
+    IndirectAccess, find_indirect_accesses, is_legal, legal_accesses,
+)
+from repro.compiler.hoist import (
+    DirectStore, OffloadPlan, PackedLoad, PackedStore, hoist,
+)
+from repro.compiler.interp import Interpreter
+from repro.compiler.ir import (
+    ArrayDecl, Assign, BinOp, Const, Function, If, Load, Loop, Store, Var,
+    loads_in, read_arrays, substitute, vars_in, written_arrays,
+)
+from repro.compiler.lowering import Binding, LoweringError, lower_chunk
+from repro.compiler.pipeline import (
+    CompiledKernel, bind_arrays, offload_kernel, offload_range_kernel,
+    reference_run,
+)
+from repro.compiler.tiling import innermost, tile_loop
+
+__all__ = [
+    "ArrayDecl", "Assign", "BinOp", "Binding", "CompiledKernel", "Const",
+    "DirectStore", "Function", "If", "IndirectAccess", "Interpreter", "Load",
+    "Loop", "LoweringError", "OffloadPlan", "PackedLoad", "PackedStore",
+    "Store", "Var", "bind_arrays", "find_indirect_accesses", "hoist",
+    "innermost", "is_legal", "legal_accesses", "loads_in", "lower_chunk",
+    "offload_kernel", "offload_range_kernel", "read_arrays",
+    "reference_run", "substitute",
+    "tile_loop", "vars_in", "written_arrays",
+]

@@ -1,0 +1,158 @@
+"""Indirect-access detection and legality analysis (Section 4.2).
+
+Detection follows the paper's approach: a DFS from the loop induction
+variable over use-def chains, flagging loads whose index expression itself
+contains a load (``A[B[i]]``, ``A[B[f(C[i])]]``, ...).
+
+Legality enforces the two paper conditions:
+
+1. no statement in the loop stores to an array the hoisted access reads
+   (directly or through its index chain) — the Gauss-Seidel exclusion;
+2. the loop is parallel (no loop-carried dependences), required to reorder
+   iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    Assign, BinOp, Expr, If, Load, Loop, Stmt, Store,
+    loads_in, substitute, vars_in, written_arrays,
+)
+
+
+@dataclass
+class IndirectAccess:
+    """One detected indirect access within a loop."""
+
+    kind: str                  # "load", "store", or "rmw"
+    array: str
+    index: Expr                # fully substituted index expression
+    value: Expr | None = None  # for store/rmw: fully substituted value
+    accum: object = None       # AluOp for rmw
+    cond: Expr | None = None   # guarding condition, substituted
+    stmt: Stmt | None = None   # the originating statement
+
+    @property
+    def depth(self) -> int:
+        """Levels of indirection in the index expression."""
+        def loads_depth(expr: Expr) -> int:
+            if isinstance(expr, Load):
+                return 1 + loads_depth(expr.index)
+            if isinstance(expr, BinOp):
+                return max(loads_depth(expr.lhs), loads_depth(expr.rhs))
+            return 0
+        return loads_depth(self.index)
+
+
+def _definitions(stmts: list[Stmt]) -> dict[str, Expr]:
+    """Last-write use-def bindings for scalar assignments in a body."""
+    defs: dict[str, Expr] = {}
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            defs[stmt.var] = stmt.expr
+    return defs
+
+
+def _is_indirect_index(expr: Expr, loop_var: str) -> bool:
+    """True when the (substituted) index depends on another load."""
+    return bool(loads_in(expr)) and loop_var in vars_in(expr)
+
+
+def find_indirect_accesses(loop: Loop) -> list[IndirectAccess]:
+    """Detect indirect loads/stores/RMWs in a single (innermost) loop."""
+    defs = _definitions(loop.body)
+    found: list[IndirectAccess] = []
+
+    def scan(stmts: list[Stmt], cond: Expr | None) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                for load in loads_in(substitute(stmt.expr, defs)):
+                    _consider_load(load, cond, stmt)
+            elif isinstance(stmt, Store):
+                index = substitute(stmt.index, defs)
+                value = substitute(stmt.value, defs)
+                if _is_indirect_index(index, loop.var):
+                    kind = "rmw" if stmt.accum is not None else "store"
+                    found.append(IndirectAccess(
+                        kind=kind, array=stmt.array, index=index,
+                        value=value, accum=stmt.accum, cond=cond, stmt=stmt))
+                for load in loads_in(value):
+                    _consider_load(load, cond, stmt)
+                for load in loads_in(index):
+                    _consider_load(load, cond, stmt)
+            elif isinstance(stmt, If):
+                scan(stmt.body, substitute(stmt.cond, defs))
+
+    def _consider_load(load: Load, cond: Expr | None, stmt: Stmt) -> None:
+        if _is_indirect_index(load.index, loop.var):
+            found.append(IndirectAccess(kind="load", array=load.array,
+                                        index=load.index, cond=cond,
+                                        stmt=stmt))
+
+    scan(loop.body, None)
+    # Deduplicate identical loads appearing in several statements.
+    unique: list[IndirectAccess] = []
+    seen = set()
+    for acc in found:
+        key = (acc.kind, acc.array, repr(acc.index), repr(acc.cond),
+               repr(acc.value), acc.accum)
+        if key not in seen:
+            seen.add(key)
+            unique.append(acc)
+    # Drop loads nested inside another detected access's index chain: the
+    # outer packed op subsumes them (lowering compiles the whole chain).
+    def nested(acc: IndirectAccess) -> bool:
+        me = repr(Load(acc.array, acc.index))
+        return acc.kind == "load" and any(
+            other is not acc and me in repr(other.index)
+            for other in unique
+        )
+
+    return [acc for acc in unique if not nested(acc)]
+
+
+def arrays_feeding(access: IndirectAccess) -> set[str]:
+    """Every array read by the access (its target + index chain + value)."""
+    out = {access.array} if access.kind == "load" else set()
+    for expr in (access.index, access.value, access.cond):
+        if expr is not None:
+            out |= {load.array for load in loads_in(expr)}
+    return out
+
+
+def is_legal(loop: Loop, access: IndirectAccess) -> bool:
+    """The paper's hoisting legality check."""
+    if not loop.parallel:
+        return False
+    written = written_arrays(loop.body)
+    reads = arrays_feeding(access)
+    if access.kind == "load":
+        # Hoisting a load of an array the loop also writes could read stale
+        # data (Gauss-Seidel); same for any array in the index chain.
+        return not (reads & written) and access.array not in written
+    # Sinking a store/RMW: its target may be written only by itself, and its
+    # inputs must not alias anything written.
+    other_writes = written - {access.array}
+    if reads & written:
+        return False
+    # Target array written by more than this statement?
+    count = _store_count(loop.body, access.array)
+    return count == 1 and access.array not in other_writes
+
+
+def _store_count(stmts: list[Stmt], array: str) -> int:
+    count = 0
+    for stmt in stmts:
+        if isinstance(stmt, Store) and stmt.array == array:
+            count += 1
+        elif isinstance(stmt, If):
+            count += _store_count(stmt.body, array)
+        elif isinstance(stmt, Loop):
+            count += _store_count(stmt.body, array)
+    return count
+
+
+def legal_accesses(loop: Loop) -> list[IndirectAccess]:
+    return [a for a in find_indirect_accesses(loop) if is_legal(loop, a)]

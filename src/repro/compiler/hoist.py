@@ -1,0 +1,161 @@
+"""Hoisting and sinking of packed operations (Figure 7 c).
+
+Legal indirect loads hoist out of the inner loop into ``PackedLoad``
+operations; indirect stores/RMWs sink into ``PackedStore`` operations.
+Inside the residual loop body the hoisted load is replaced by a reference
+to the packed stream (a plain Var naming it — the ``dequeue`` of the
+paper's structured ops).  Direct stores whose value is computable from
+packed streams also sink (as streaming stores), which is what makes fully
+offloadable kernels like ``C[i] = A[B[i]]`` leave an empty residual loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.analysis import find_indirect_accesses, is_legal
+from repro.compiler.ir import (
+    Assign, BinOp, Const, Expr, If, Load, Loop, Stmt, Store, Var,
+    substitute,
+)
+
+
+@dataclass
+class PackedLoad:
+    """A hoisted indirect load: one bulk gather per tile chunk."""
+
+    dest: str
+    array: str
+    index: Expr
+    cond: Expr | None = None
+
+
+@dataclass
+class PackedStore:
+    """A sunk indirect store / RMW (the paper's packed_store/packed_RMW)."""
+
+    array: str
+    index: Expr
+    value: Expr
+    accum: object = None      # AluOp for RMW
+    cond: Expr | None = None
+
+
+@dataclass
+class DirectStore:
+    """A sunk streaming store: ``array[i] = value`` over the whole tile."""
+
+    array: str
+    value: Expr               # in terms of packed-stream Vars and the loop var
+    cond: Expr | None = None
+
+
+@dataclass
+class OffloadPlan:
+    """Everything hoisting extracted from one inner loop."""
+
+    loop: Loop
+    packed_loads: list[PackedLoad] = field(default_factory=list)
+    packed_stores: list[PackedStore] = field(default_factory=list)
+    direct_stores: list[DirectStore] = field(default_factory=list)
+    residual: list[Stmt] = field(default_factory=list)
+
+    @property
+    def full_offload(self) -> bool:
+        return not self.residual
+
+
+def hoist(loop: Loop) -> OffloadPlan:
+    """Build an offload plan for one innermost loop."""
+    plan = OffloadPlan(loop=loop)
+    accesses = find_indirect_accesses(loop)
+    legal = [a for a in accesses if is_legal(loop, a)]
+
+    load_map: dict[tuple, str] = {}   # substituted-load key -> stream name
+    defs = {s.var: s.expr for s in loop.body if isinstance(s, Assign)}
+
+    for k, acc in enumerate(a for a in legal if a.kind == "load"):
+        name = f"_pk{k}"
+        load_map[(acc.array, repr(acc.index))] = name
+        plan.packed_loads.append(PackedLoad(dest=name, array=acc.array,
+                                            index=acc.index, cond=acc.cond))
+    sunk_stores = [a for a in legal if a.kind in ("store", "rmw")]
+    for acc in sunk_stores:
+        plan.packed_stores.append(PackedStore(
+            array=acc.array, index=acc.index,
+            value=_rewrite_expr(acc.value, defs, load_map),
+            accum=acc.accum, cond=acc.cond))
+
+    sunk_stmts = {id(a.stmt) for a in sunk_stores}
+    plan.residual = _rewrite_block(loop.body, defs, load_map, sunk_stmts,
+                                   plan, loop.var)
+    return plan
+
+
+# ---------------------------------------------------------------- rewriting
+
+def _rewrite_expr(expr: Expr, defs: dict[str, Expr],
+                  load_map: dict[tuple, str]) -> Expr:
+    """Replace hoisted loads by their packed-stream Vars."""
+    substituted = substitute(expr, defs)
+    return _replace_loads(substituted, load_map)
+
+
+def _replace_loads(expr: Expr, load_map: dict[tuple, str]) -> Expr:
+    if isinstance(expr, Load):
+        name = load_map.get((expr.array, repr(expr.index)))
+        if name is not None:
+            return Var(name)
+        return Load(expr.array, _replace_loads(expr.index, load_map))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _replace_loads(expr.lhs, load_map),
+                     _replace_loads(expr.rhs, load_map))
+    return expr
+
+
+def _rewrite_block(stmts: list[Stmt], defs, load_map, sunk_stmts,
+                   plan: OffloadPlan, loop_var: str,
+                   cond: Expr | None = None) -> list[Stmt]:
+    out: list[Stmt] = []
+    for stmt in stmts:
+        if id(stmt) in sunk_stmts:
+            continue
+        if isinstance(stmt, Assign):
+            # Scalar definitions that only fed hoisted accesses disappear if
+            # nothing else uses them; conservatively keep those still used.
+            continue  # address arithmetic is subsumed by the packed ops
+        if isinstance(stmt, If):
+            body = _rewrite_block(stmt.body, defs, load_map, sunk_stmts,
+                                  plan, loop_var, substitute(stmt.cond, defs))
+            if body:
+                out.append(If(stmt.cond, body))
+            continue
+        if isinstance(stmt, Store):
+            value = _rewrite_expr(stmt.value, defs, load_map)
+            index = substitute(stmt.index, defs)
+            if (stmt.accum is None and index == Var(loop_var)
+                    and _only_streams(value, load_map, loop_var)):
+                plan.direct_stores.append(
+                    DirectStore(array=stmt.array, value=value, cond=cond))
+                continue
+            out.append(Store(stmt.array, stmt.index, stmt.value, stmt.accum))
+            continue
+        out.append(stmt)
+    return out
+
+
+def _only_streams(expr: Expr, load_map: dict[tuple, str],
+                  loop_var: str) -> bool:
+    """True when the value is computable tile-wide from packed streams,
+    direct loads, and the loop variable."""
+    stream_names = set(load_map.values()) | {loop_var}
+    if isinstance(expr, Var):
+        return expr.name in stream_names
+    if isinstance(expr, Const):
+        return True
+    if isinstance(expr, BinOp):
+        return (_only_streams(expr.lhs, load_map, loop_var)
+                and _only_streams(expr.rhs, load_map, loop_var))
+    if isinstance(expr, Load):
+        return expr.index == Var(loop_var)
+    return False

@@ -1,0 +1,100 @@
+"""Reference interpreter for the loop IR.
+
+Defines the semantics every compiler pass must preserve: the test suite
+interprets the original kernel and cross-checks it against the transformed
+and lowered versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import AluOp
+from repro.compiler.ir import (
+    Assign, BinOp, Const, Expr, Function, If, Load, Loop, Stmt, Store, Var,
+)
+
+_SCALAR_OPS = {
+    AluOp.ADD: lambda a, b: a + b,
+    AluOp.SUB: lambda a, b: a - b,
+    AluOp.MUL: lambda a, b: a * b,
+    AluOp.MIN: min,
+    AluOp.MAX: max,
+    AluOp.AND: lambda a, b: int(a) & int(b),
+    AluOp.OR: lambda a, b: int(a) | int(b),
+    AluOp.XOR: lambda a, b: int(a) ^ int(b),
+    AluOp.SHR: lambda a, b: int(a) >> int(b),
+    AluOp.SHL: lambda a, b: int(a) << int(b),
+    AluOp.LT: lambda a, b: int(a < b),
+    AluOp.LE: lambda a, b: int(a <= b),
+    AluOp.GT: lambda a, b: int(a > b),
+    AluOp.GE: lambda a, b: int(a >= b),
+    AluOp.EQ: lambda a, b: int(a == b),
+}
+
+
+class Interpreter:
+    """Executes a :class:`Function` over NumPy array storage."""
+
+    def __init__(self, function: Function,
+                 arrays: dict[str, np.ndarray]) -> None:
+        for name, decl in function.arrays.items():
+            if name not in arrays:
+                raise KeyError(f"array {name!r} not provided")
+            if len(arrays[name]) != decl.length:
+                raise ValueError(
+                    f"array {name!r}: expected {decl.length} elements, "
+                    f"got {len(arrays[name])}"
+                )
+        self.function = function
+        self.arrays = arrays
+        self.env: dict[str, int | float] = dict(function.scalars)
+
+    def run(self) -> dict[str, np.ndarray]:
+        self._exec_block(self.function.body)
+        return self.arrays
+
+    # ------------------------------------------------------------- internals
+
+    def _exec_block(self, stmts: list[Stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self.env[stmt.var] = self._eval(stmt.expr)
+        elif isinstance(stmt, Store):
+            index = int(self._eval(stmt.index))
+            value = self._eval(stmt.value)
+            array = self.arrays[stmt.array]
+            if stmt.accum is None:
+                array[index] = value
+            else:
+                array[index] = _SCALAR_OPS[stmt.accum](
+                    array[index].item(), value)
+        elif isinstance(stmt, If):
+            if self._eval(stmt.cond):
+                self._exec_block(stmt.body)
+        elif isinstance(stmt, Loop):
+            lo = int(self._eval(stmt.lo))
+            hi = int(self._eval(stmt.hi))
+            for i in range(lo, hi, stmt.step):
+                self.env[stmt.var] = i
+                self._exec_block(stmt.body)
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    def _eval(self, expr: Expr):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name not in self.env:
+                raise NameError(f"undefined variable {expr.name!r}")
+            return self.env[expr.name]
+        if isinstance(expr, BinOp):
+            return _SCALAR_OPS[expr.op](self._eval(expr.lhs),
+                                        self._eval(expr.rhs))
+        if isinstance(expr, Load):
+            index = int(self._eval(expr.index))
+            return self.arrays[expr.array][index].item()
+        raise TypeError(f"unknown expression {expr!r}")

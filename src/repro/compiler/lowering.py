@@ -1,0 +1,165 @@
+"""Code generation: packed operations -> DX100 API calls (Figure 7 d).
+
+Lowering runs per tile chunk [lo, hi): each index/value/condition expression
+compiles to a chain of SLD / ILD / ALU instructions producing a tile, then
+the packed access itself becomes ILD / IST / IRMW and sunk direct stores
+become SST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import AluOp, DType
+from repro.compiler.hoist import OffloadPlan
+from repro.compiler.ir import BinOp, Const, Expr, Load, Var
+from repro.dx100.api import ProgramBuilder
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Where an IR array lives in simulated memory."""
+
+    base: int
+    dtype: DType
+
+
+class LoweringError(Exception):
+    pass
+
+
+class _ChunkLowerer:
+    def __init__(self, plan: OffloadPlan, bindings: dict[str, Binding],
+                 pb: ProgramBuilder, lo: int, hi: int,
+                 var_tiles: dict[str, int] | None = None) -> None:
+        self.plan = plan
+        self.bindings = bindings
+        self.pb = pb
+        self.lo = lo
+        self.hi = hi
+        self.loop_var = plan.loop.var
+        # Induction variables materialized as tiles (range-fused loops):
+        # Load(A, Var(v)) for v in var_tiles lowers to ILD through the tile.
+        self.var_tiles = var_tiles or {}
+        self._tiles: dict[str, int] = {}   # expr repr -> tile id
+        self._streams: dict[str, int] = {} # packed stream name -> tile id
+        self._index_dtype = DType.I64
+
+    # ------------------------------------------------------------- exprs
+
+    def compile(self, expr: Expr) -> int:
+        """Compile an expression to a tile id covering [lo, hi)."""
+        key = repr(expr)
+        if key in self._tiles:
+            return self._tiles[key]
+        tile = self._compile(expr)
+        self._tiles[key] = tile
+        return tile
+
+    def _compile(self, expr: Expr) -> int:
+        pb = self.pb
+        if isinstance(expr, Var):
+            if expr.name in self._streams:
+                return self._streams[expr.name]
+            if expr.name in self.var_tiles:
+                return self.var_tiles[expr.name]
+            if expr.name == self.loop_var:
+                raise LoweringError(
+                    "bare loop-variable tiles are not materializable; "
+                    "use a Load or wrap in an array access"
+                )
+            raise LoweringError(f"unbound variable {expr.name!r}")
+        if isinstance(expr, Const):
+            return self._const_tile(expr.value)
+        if isinstance(expr, Load):
+            binding = self._binding(expr.array)
+            if (isinstance(expr.index, Var)
+                    and expr.index.name in self.var_tiles):
+                return pb.ild(binding.dtype, binding.base,
+                              self.var_tiles[expr.index.name])
+            if expr.index == Var(self.loop_var):
+                return pb.sld(binding.dtype, binding.base, self.lo, self.hi)
+            index_tile = self.compile(expr.index)
+            return pb.ild(binding.dtype, binding.base, index_tile)
+        if isinstance(expr, BinOp):
+            lhs_const = isinstance(expr.lhs, Const)
+            rhs_const = isinstance(expr.rhs, Const)
+            if lhs_const and rhs_const:
+                raise LoweringError("constant-folding should happen earlier")
+            if rhs_const:
+                t = self.compile(expr.lhs)
+                return pb.alus(self._index_dtype, expr.op, t, expr.rhs.value)
+            if lhs_const:
+                if expr.op in (AluOp.SUB, AluOp.SHR, AluOp.SHL):
+                    raise LoweringError(
+                        f"non-commutative op {expr.op} with constant lhs"
+                    )
+                t = self.compile(expr.rhs)
+                return pb.alus(self._index_dtype, expr.op, t, expr.lhs.value)
+            t1 = self.compile(expr.lhs)
+            t2 = self.compile(expr.rhs)
+            return pb.aluv(self._index_dtype, expr.op, t1, t2)
+        raise LoweringError(f"cannot lower expression {expr!r}")
+
+    def _const_tile(self, value) -> int:
+        """Materialize a constant tile: zero out any existing tile, add c."""
+        if not self._tiles:
+            raise LoweringError(
+                "constant tile requires a prior stream in the chunk"
+            )
+        some_tile = next(iter(self._tiles.values()))
+        zeros = self.pb.alus(self._index_dtype, AluOp.MUL, some_tile, 0)
+        return self.pb.alus(self._index_dtype, AluOp.ADD, zeros, value)
+
+    def _binding(self, array: str) -> Binding:
+        if array not in self.bindings:
+            raise LoweringError(f"array {array!r} has no memory binding")
+        return self.bindings[array]
+
+    # -------------------------------------------------------------- plan
+
+    def lower(self) -> dict[str, int]:
+        pb = self.pb
+        for pload in self.plan.packed_loads:
+            cond_tile = (self.compile(pload.cond)
+                         if pload.cond is not None else None)
+            binding = self._binding(pload.array)
+            index_tile = self.compile(pload.index)
+            dest = pb.ild(binding.dtype, binding.base, index_tile,
+                          tc=cond_tile)
+            self._streams[pload.dest] = dest
+            self._tiles[repr(Load(pload.array, pload.index))] = dest
+        for pstore in self.plan.packed_stores:
+            cond_tile = (self.compile(pstore.cond)
+                         if pstore.cond is not None else None)
+            binding = self._binding(pstore.array)
+            index_tile = self.compile(pstore.index)
+            value_tile = self.compile(pstore.value)
+            if pstore.accum is None:
+                pb.ist(binding.dtype, binding.base, index_tile, value_tile,
+                       tc=cond_tile)
+            else:
+                pb.irmw(binding.dtype, binding.base, pstore.accum,
+                        index_tile, value_tile, tc=cond_tile)
+        for dstore in self.plan.direct_stores:
+            cond_tile = (self.compile(dstore.cond)
+                         if dstore.cond is not None else None)
+            binding = self._binding(dstore.array)
+            value_tile = self.compile(dstore.value)
+            pb.sst(binding.dtype, binding.base, value_tile,
+                   self.lo, self.hi, tc=cond_tile)
+        wait_tiles = tuple(self._streams.values())
+        if wait_tiles:
+            pb.wait(*wait_tiles)
+        return dict(self._streams)
+
+
+def lower_chunk(plan: OffloadPlan, bindings: dict[str, Binding],
+                pb: ProgramBuilder, lo: int, hi: int,
+                var_tiles: dict[str, int] | None = None) -> dict[str, int]:
+    """Lower one tile chunk of an offload plan; returns stream->tile ids.
+
+    ``var_tiles`` binds induction variables to existing scratchpad tiles
+    (the Range Fuser outputs) for fused-range kernels.
+    """
+    return _ChunkLowerer(plan, bindings, pb, lo, hi, var_tiles).lower()

@@ -1,0 +1,148 @@
+"""The full compiler pipeline: tile -> detect/hoist -> lower (Section 4.2).
+
+:func:`offload_kernel` takes an IR :class:`Function` whose body is a single
+parallel loop, and produces a DX100 program covering every tile chunk,
+mirroring the paper's three MLIR passes.  The resulting program runs on
+either the functional or the timing DX100 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DX100Config
+from repro.compiler.hoist import OffloadPlan, hoist
+from repro.compiler.interp import Interpreter
+from repro.compiler.ir import Const, Function, Loop
+from repro.compiler.lowering import Binding, lower_chunk
+from repro.compiler.tiling import tile_loop
+from repro.dx100.api import ProgramBuilder
+from repro.dx100.hostmem import HostMemory
+
+
+@dataclass
+class CompiledKernel:
+    function: Function
+    plan: OffloadPlan
+    program: list
+    chunks: list[tuple[int, int]]
+    streams_per_chunk: list[dict[str, int]]
+
+
+def bind_arrays(function: Function, hostmem: HostMemory,
+                arrays) -> dict[str, Binding]:
+    """Place the function's arrays into simulated memory."""
+    bindings: dict[str, Binding] = {}
+    for name, decl in function.arrays.items():
+        base = hostmem.place(name, arrays[name])
+        bindings[name] = Binding(base=base, dtype=decl.dtype)
+    return bindings
+
+
+def offload_kernel(function: Function, bindings: dict[str, Binding],
+                   config: DX100Config | None = None,
+                   tile: int | None = None) -> CompiledKernel:
+    """Compile a single-loop kernel to a DX100 program."""
+    if len(function.body) != 1 or not isinstance(function.body[0], Loop):
+        raise ValueError("offload_kernel expects a single top-level loop")
+    loop = function.body[0]
+    if not isinstance(loop.lo, Const) or not isinstance(loop.hi, Const):
+        raise ValueError("loop bounds must be constants at compile time")
+    config = config or DX100Config()
+    tile = tile or config.tile_elems
+
+    tiled = tile_loop(loop, tile)
+    inner = tiled.body[0]
+    assert isinstance(inner, Loop)
+    plan = hoist(inner)
+    if not (plan.packed_loads or plan.packed_stores):
+        raise ValueError("kernel has no legal indirect access to offload")
+
+    lo, hi = int(loop.lo.value), int(loop.hi.value)
+    chunks = [(start, min(start + tile, hi)) for start in range(lo, hi, tile)]
+    streams_per_chunk = []
+    program: list = []
+    for c_lo, c_hi in chunks:
+        pb = ProgramBuilder(config)
+        streams = lower_chunk(plan, bindings, pb, c_lo, c_hi)
+        streams_per_chunk.append(streams)
+        program.extend(pb.build())
+    return CompiledKernel(function=function, plan=plan, program=program,
+                          chunks=chunks, streams_per_chunk=streams_per_chunk)
+
+
+def reference_run(function: Function, arrays) -> dict:
+    """Interpret the original kernel on copies of the arrays."""
+    copies = {name: arr.copy() for name, arr in arrays.items()}
+    Interpreter(function, copies).run()
+    return copies
+
+
+def _match_range_nest(function: Function):
+    """Recognize ``for i in 0..N: for j in H[i]..H[i+1]: body``.
+
+    Returns (outer, inner, offsets_array_name) or raises ValueError.
+    """
+    from repro.common.types import AluOp
+    from repro.compiler.ir import BinOp, Load, Var
+
+    if len(function.body) != 1 or not isinstance(function.body[0], Loop):
+        raise ValueError("expected a single top-level loop")
+    outer = function.body[0]
+    if len(outer.body) != 1 or not isinstance(outer.body[0], Loop):
+        raise ValueError("expected a perfectly nested range loop")
+    inner = outer.body[0]
+    lo, hi = inner.lo, inner.hi
+    if not (isinstance(lo, Load) and isinstance(lo.index, Var)
+            and lo.index.name == outer.var):
+        raise ValueError("inner lower bound must be H[i]")
+    plus_one = BinOp(AluOp.ADD, Var(outer.var), Const(1))
+    if not (isinstance(hi, Load) and hi.array == lo.array
+            and hi.index == plus_one):
+        raise ValueError("inner upper bound must be H[i+1]")
+    return outer, inner, lo.array
+
+
+def offload_range_kernel(function: Function, bindings: dict[str, Binding],
+                         offsets, config: DX100Config | None = None,
+                         tile: int | None = None) -> CompiledKernel:
+    """Compile a direct range-loop kernel (``j = H[i] to H[i+1]``, Table 1)
+    through the Range Fuser.
+
+    ``offsets`` is the H array's contents (needed to chunk the fused inner
+    index space to tile capacity).  Inside the lowered program the inner
+    induction variable ``j`` and outer variable ``i`` become Range Fuser
+    output tiles, so ``C[j]`` lowers to an indirect load through the fused
+    index tile and ``X[i]`` through the outer tile.
+    """
+    from repro.dx100.range_fuser import plan_range_chunks
+    from repro.common.types import DType
+
+    config = config or DX100Config()
+    tile = tile or config.tile_elems
+    outer, inner, h_name = _match_range_nest(function)
+    if h_name not in bindings:
+        raise ValueError(f"offsets array {h_name!r} has no binding")
+    plan = hoist(inner)
+    if not (plan.packed_loads or plan.packed_stores or plan.direct_stores):
+        raise ValueError("kernel has no legal indirect access to offload")
+
+    n = int(outer.hi.value) - int(outer.lo.value)
+    lows, highs = offsets[:n], offsets[1:n + 1]
+    chunks = [(r0, r1) for r0, r1 in plan_range_chunks(lows, highs, tile)
+              if highs[r1 - 1] > lows[r0]]
+    h_binding = bindings[h_name]
+    program: list = []
+    streams_per_chunk = []
+    for r0, r1 in chunks:
+        pb = ProgramBuilder(config)
+        t_lo = pb.sld(h_binding.dtype, h_binding.base, r0, r1)
+        t_hi = pb.sld(h_binding.dtype, h_binding.base, r0 + 1, r1 + 1)
+        t_outer, t_inner = pb.rng(t_lo, t_hi, outer_base=r0)
+        streams = lower_chunk(
+            plan, bindings, pb, int(offsets[r0]), int(offsets[r1]),
+            var_tiles={outer.var: t_outer, inner.var: t_inner})
+        streams_per_chunk.append(streams)
+        program.extend(pb.build())
+    return CompiledKernel(function=function, plan=plan, program=program,
+                          chunks=chunks, streams_per_chunk=streams_per_chunk)

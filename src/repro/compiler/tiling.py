@@ -1,0 +1,38 @@
+"""Loop tiling (the first compiler transformation, Figure 7 b).
+
+Tiling exposes bulk operations: the tiled inner loop covers one DX100 tile
+of iterations, which hoisting then converts into packed operations.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import AluOp
+from repro.compiler.ir import BinOp, Const, Loop, Var
+
+
+def tile_loop(loop: Loop, tile: int) -> Loop:
+    """``for i in lo..hi`` -> ``for i_t in lo..hi step tile:
+    for i in i_t..min(i_t+tile, hi)``."""
+    if tile <= 0:
+        raise ValueError("tile size must be positive")
+    if loop.step != 1:
+        raise ValueError("only unit-stride loops are tiled")
+    outer_var = loop.var + "_t"
+    inner = Loop(
+        var=loop.var,
+        lo=Var(outer_var),
+        hi=BinOp(AluOp.MIN, BinOp(AluOp.ADD, Var(outer_var), Const(tile)),
+                 loop.hi),
+        body=loop.body,
+        parallel=loop.parallel,
+    )
+    return Loop(var=outer_var, lo=loop.lo, hi=loop.hi, body=[inner],
+                step=tile, parallel=loop.parallel)
+
+
+def innermost(loop: Loop) -> Loop:
+    """The innermost loop of a perfectly nested tile structure."""
+    current = loop
+    while len(current.body) == 1 and isinstance(current.body[0], Loop):
+        current = current.body[0]
+    return current

@@ -1,0 +1,14 @@
+"""Core substrate: traces, the OoO window model, multicore interleaving."""
+
+from repro.core.multicore import Multicore
+from repro.core.ooo import AtomicsArbiter, CoreModel
+from repro.core.trace import Trace, TraceBuilder, split_static
+
+__all__ = [
+    "AtomicsArbiter",
+    "CoreModel",
+    "Multicore",
+    "Trace",
+    "TraceBuilder",
+    "split_static",
+]

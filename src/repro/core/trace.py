@@ -1,0 +1,96 @@
+"""Memory-operation traces and the builder workloads use to emit them.
+
+A trace is the per-core instruction stream reduced to what the timing model
+needs: memory operations with address, dependence edges (which earlier op
+produced this op's address), and the count of non-memory instructions
+attributed to each op (address arithmetic, loop control, compute).  The
+instruction totals feed Figure 11(a); the dependence edges are what throttle
+the baseline's memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.types import AccessType, MemOp
+
+
+@dataclass
+class Trace:
+    """One core's dynamic stream."""
+
+    ops: list[MemOp] = field(default_factory=list)
+    tail_instrs: int = 0  # trailing non-memory instructions after the last op
+
+    @property
+    def instructions(self) -> int:
+        """Total dynamic instruction count (memory + attributed compute)."""
+        return sum(1 + op.extra_instrs for op in self.ops) + self.tail_instrs
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class TraceBuilder:
+    """Incrementally builds a :class:`Trace`.
+
+    ``load``/``store``/``rmw`` return the op's index so later ops can name it
+    in ``deps``.  ``compute(n)`` attributes ``n`` standalone instructions to
+    the *next* op (or to the trace tail if no op follows).
+    """
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+        self._pending_extra = 0
+
+    def compute(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("instruction count must be non-negative")
+        self._pending_extra += n
+
+    def _emit(self, kind: AccessType, addr: int, size: int,
+              deps: tuple[int, ...], extra: int, atomic: bool,
+              pc: int, tag: int) -> int:
+        for d in deps:
+            if not 0 <= d < len(self._trace.ops):
+                raise ValueError(f"dependence on unknown op {d}")
+        op = MemOp(kind=kind, addr=addr, size=size, deps=deps,
+                   extra_instrs=extra + self._pending_extra,
+                   atomic=atomic, pc=pc, tag=tag)
+        self._pending_extra = 0
+        self._trace.ops.append(op)
+        return len(self._trace.ops) - 1
+
+    def load(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
+             extra: int = 0, pc: int = 0, tag: int = -1) -> int:
+        return self._emit(AccessType.LOAD, addr, size, deps, extra, False,
+                          pc, tag)
+
+    def store(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
+              extra: int = 0, atomic: bool = False, pc: int = 0,
+              tag: int = -1) -> int:
+        return self._emit(AccessType.STORE, addr, size, deps, extra, atomic,
+                          pc, tag)
+
+    def rmw(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
+            extra: int = 0, atomic: bool = False, pc: int = 0,
+            tag: int = -1) -> int:
+        return self._emit(AccessType.RMW, addr, size, deps, extra, atomic,
+                          pc, tag)
+
+    def finish(self) -> Trace:
+        self._trace.tail_instrs += self._pending_extra
+        self._pending_extra = 0
+        return self._trace
+
+
+def split_static(items, ways: int) -> list[list]:
+    """Deal an iteration list across ``ways`` cores in contiguous blocks,
+    OpenMP ``schedule(static)`` style."""
+    if ways <= 0:
+        raise ValueError("ways must be positive")
+    out: list[list] = [[] for _ in range(ways)]
+    chunk = max(1, len(items) // ways)
+    for i, item in enumerate(items):
+        out[min((i // chunk), ways - 1)].append(item)
+    return out

@@ -1,0 +1,84 @@
+"""Trace serialization: save and replay per-core memory-op traces.
+
+Workload trace generation costs real time at large scales; exporting the
+generated traces to ``.npz`` lets sweeps replay identical inputs across
+configurations (and lets external tools consume them).  Dependence edges
+are stored flattened with an offsets array, CSR-style.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.types import AccessType
+from repro.core.trace import Trace, TraceBuilder
+
+_KIND_CODES = {AccessType.LOAD: 0, AccessType.STORE: 1, AccessType.RMW: 2}
+_CODE_KINDS = {v: k for k, v in _KIND_CODES.items()}
+
+
+def save_traces(path: str | Path, traces: list[Trace]) -> None:
+    """Serialize per-core traces to a single ``.npz`` file."""
+    payload: dict[str, np.ndarray] = {
+        "n_traces": np.array([len(traces)], dtype=np.int64),
+    }
+    for t, trace in enumerate(traces):
+        ops = trace.ops
+        payload[f"t{t}_kind"] = np.array(
+            [_KIND_CODES[op.kind] for op in ops], dtype=np.int8)
+        payload[f"t{t}_addr"] = np.array([op.addr for op in ops],
+                                         dtype=np.int64)
+        payload[f"t{t}_size"] = np.array([op.size for op in ops],
+                                         dtype=np.int16)
+        payload[f"t{t}_extra"] = np.array([op.extra_instrs for op in ops],
+                                          dtype=np.int32)
+        payload[f"t{t}_atomic"] = np.array([op.atomic for op in ops],
+                                           dtype=np.int8)
+        payload[f"t{t}_pc"] = np.array([op.pc for op in ops],
+                                       dtype=np.int32)
+        payload[f"t{t}_tag"] = np.array([op.tag for op in ops],
+                                        dtype=np.int64)
+        deps = [d for op in ops for d in op.deps]
+        offsets = np.zeros(len(ops) + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum([len(op.deps) for op in ops])
+        payload[f"t{t}_deps"] = np.array(deps, dtype=np.int64)
+        payload[f"t{t}_dep_offsets"] = offsets
+        payload[f"t{t}_tail"] = np.array([trace.tail_instrs],
+                                         dtype=np.int64)
+    np.savez_compressed(path, **payload)
+
+
+def load_traces(path: str | Path) -> list[Trace]:
+    """Reload traces saved with :func:`save_traces`."""
+    data = np.load(path)
+    n = int(data["n_traces"][0])
+    traces = []
+    for t in range(n):
+        tb = TraceBuilder()
+        kinds = data[f"t{t}_kind"]
+        addrs = data[f"t{t}_addr"]
+        sizes = data[f"t{t}_size"]
+        extras = data[f"t{t}_extra"]
+        atomics = data[f"t{t}_atomic"]
+        pcs = data[f"t{t}_pc"]
+        tags = data[f"t{t}_tag"]
+        deps = data[f"t{t}_deps"]
+        offs = data[f"t{t}_dep_offsets"]
+        for i in range(len(kinds)):
+            kind = _CODE_KINDS[int(kinds[i])]
+            dep = tuple(int(d) for d in deps[offs[i]:offs[i + 1]])
+            common = dict(addr=int(addrs[i]), size=int(sizes[i]), deps=dep,
+                          extra=int(extras[i]), pc=int(pcs[i]),
+                          tag=int(tags[i]))
+            if kind == AccessType.LOAD:
+                tb.load(**common)
+            elif kind == AccessType.STORE:
+                tb.store(atomic=bool(atomics[i]), **common)
+            else:
+                tb.rmw(atomic=bool(atomics[i]), **common)
+        trace = tb.finish()
+        trace.tail_instrs = int(data[f"t{t}_tail"][0])
+        traces.append(trace)
+    return traces

@@ -1,0 +1,20 @@
+"""DDR4 DRAM substrate: address mapping, bank timing, FR-FCFS controllers."""
+
+from repro.dram.address import DEFAULT_ORDER, AddressMapper
+from repro.dram.bank import BankState, ChannelBusState, RankState
+from repro.dram.controller import MemoryController
+from repro.dram.scheduler import FCFS, FRFCFS, make_scheduler
+from repro.dram.system import DRAMSystem
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "AddressMapper",
+    "BankState",
+    "ChannelBusState",
+    "FCFS",
+    "FRFCFS",
+    "DRAMSystem",
+    "MemoryController",
+    "RankState",
+    "make_scheduler",
+]

@@ -1,0 +1,112 @@
+"""Per-bank and per-rank DRAM timing state.
+
+Each bank tracks its open row and the earliest cycles at which the next
+ACT / PRE / column command may legally issue, derived from the JEDEC
+constraints in :class:`repro.common.config.DDR4Timing`.  Ranks additionally
+track the tRRD activate-to-activate spacing and the tFAW four-activate
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import DDR4Timing
+
+
+@dataclass
+class BankState:
+    """Timing state for one DRAM bank (open-page policy)."""
+
+    open_row: int | None = None
+    act_ready: int = 0    # earliest next ACT
+    pre_ready: int = 0    # earliest next PRE
+    col_ready: int = 0    # earliest next RD/WR to this bank
+    last_act: int = -(1 << 30)
+
+    def is_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    def activate(self, row: int, t_act: int, timing: DDR4Timing) -> None:
+        self.open_row = row
+        self.last_act = t_act
+        self.col_ready = max(self.col_ready, t_act + timing.tRCD)
+        # The row must stay open tRAS before it may be precharged.
+        self.pre_ready = max(self.pre_ready, t_act + timing.tRAS)
+        self.act_ready = max(self.act_ready, t_act + timing.tRC)
+
+    def precharge(self, t_pre: int, timing: DDR4Timing) -> None:
+        self.open_row = None
+        self.act_ready = max(self.act_ready, t_pre + timing.tRP)
+
+    def column_read(self, t_col: int, timing: DDR4Timing) -> None:
+        # Read-to-precharge spacing.
+        self.pre_ready = max(self.pre_ready, t_col + timing.tRTP)
+
+    def column_write(self, t_col: int, timing: DDR4Timing) -> None:
+        # Write recovery: data lands tCWL+tBL after the command, then tWR.
+        self.pre_ready = max(
+            self.pre_ready, t_col + timing.tCWL + timing.tBL + timing.tWR
+        )
+
+
+@dataclass
+class RankState:
+    """Shared activate-rate limits for all banks of one rank."""
+
+    last_act_times: list[int] = field(default_factory=list)
+    last_act: int = -(1 << 30)
+    last_act_bg: int = -1
+
+    def earliest_act(self, bankgroup: int, timing: DDR4Timing) -> int:
+        """Earliest cycle an ACT may issue in this rank, per tRRD and tFAW."""
+        spacing = timing.tRRD_L if bankgroup == self.last_act_bg else timing.tRRD_S
+        t = self.last_act + spacing
+        if len(self.last_act_times) >= 4:
+            t = max(t, self.last_act_times[-4] + timing.tFAW)
+        return t
+
+    def record_act(self, bankgroup: int, t_act: int) -> None:
+        self.last_act = t_act
+        self.last_act_bg = bankgroup
+        self.last_act_times.append(t_act)
+        if len(self.last_act_times) > 8:
+            del self.last_act_times[:-4]
+
+
+@dataclass
+class ChannelBusState:
+    """Column-command / data-bus serialization for one channel."""
+
+    last_col: int = -(1 << 30)
+    last_col_bg: int = -1
+    data_free: int = 0
+    last_was_write: bool = False
+
+    def earliest_col(self, bankgroup: int, is_write: bool,
+                     timing: DDR4Timing) -> int:
+        """Earliest cycle a RD/WR command may issue on this channel.
+
+        Consecutive column commands to the *same* bank group are spaced by
+        tCCD_L; different bank groups only need tCCD_S — the effect the
+        Request Generator's bank-group interleaving exploits.
+        """
+        spacing = (
+            timing.tCCD_L if bankgroup == self.last_col_bg else timing.tCCD_S
+        )
+        t = self.last_col + spacing
+        # Bus turnaround between reads and writes.
+        if self.last_was_write != is_write:
+            t = max(t, self.last_col + timing.tCCD_L)
+        # The data burst must find the data bus free.
+        latency = timing.tCWL if is_write else timing.tCL
+        t = max(t, self.data_free - latency)
+        return t
+
+    def record_col(self, bankgroup: int, t_col: int, is_write: bool,
+                   timing: DDR4Timing) -> None:
+        self.last_col = t_col
+        self.last_col_bg = bankgroup
+        self.last_was_write = is_write
+        latency = timing.tCWL if is_write else timing.tCL
+        self.data_free = t_col + latency + timing.tBL

@@ -1,0 +1,204 @@
+"""One per-channel memory controller.
+
+The controller owns a bounded *request buffer* (32 entries in the paper's
+configuration) which is the scheduler's reordering window: only buffered
+requests are visible to FR-FCFS.  Requests beyond the buffer wait in an
+unbounded input queue, modelling the MSHR-to-controller path.  The
+time-weighted occupancy of the visible buffer is the "request buffer
+occupancy" metric of Figure 10(c).
+
+Scheduling is demand-driven: producers enqueue requests with arrival
+timestamps and later ask the controller to service until a particular
+request (or all requests) complete.  Commands for different banks overlap
+through per-bank ready times; the channel column/data bus is the global
+serialization point, so controller time advances monotonically along column
+command issue times.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.config import DRAMConfig
+from repro.common.stats import Stats
+from repro.common.types import DRAMCoord, DRAMRequest
+from repro.dram.address import AddressMapper
+from repro.dram.bank import BankState, ChannelBusState, RankState
+from repro.dram.scheduler import make_scheduler
+
+
+class MemoryController:
+    """Timing model of a single DDR4 channel."""
+
+    def __init__(self, channel: int, config: DRAMConfig,
+                 mapper: AddressMapper) -> None:
+        self.channel = channel
+        self.config = config
+        self.timing = config.timing
+        self.mapper = mapper
+        self.scheduler = make_scheduler(config.scheduler)
+        self.banks: dict[tuple, BankState] = {}
+        self.ranks: dict[int, RankState] = {}
+        self.bus = ChannelBusState()
+        self.buffer: list[tuple[DRAMRequest, DRAMCoord]] = []
+        self.input_queue: deque[tuple[DRAMRequest, DRAMCoord]] = deque()
+        self.time = 0
+        self.stats = Stats()
+        self._last_occ_time = 0
+        # Optional command trace for timing-legality audits:
+        # (kind, cycle, (channel, rank, bankgroup, bank), row) tuples.
+        self.record_commands = False
+        self.command_log: list[tuple] = []
+
+    # ------------------------------------------------------------- producers
+
+    def enqueue(self, req: DRAMRequest) -> None:
+        """Accept a request; it becomes schedulable once ``time`` reaches its
+        arrival and a buffer slot frees up."""
+        coord = self.mapper.map(req.addr)
+        if coord.channel != self.channel:
+            raise ValueError(
+                f"request for channel {coord.channel} routed to {self.channel}"
+            )
+        self.input_queue.append((req, coord))
+        self.stats.add("requests")
+        if req.is_write:
+            self.stats.add("writes")
+        else:
+            self.stats.add("reads")
+
+    @property
+    def pending(self) -> int:
+        return len(self.buffer) + len(self.input_queue)
+
+    # ------------------------------------------------------------- scheduling
+
+    def _refill(self) -> None:
+        """Move arrived requests into free buffer slots, oldest first."""
+        while (self.input_queue
+               and len(self.buffer) < self.config.request_buffer
+               and self.input_queue[0][0].arrival <= self.time):
+            self.buffer.append(self.input_queue.popleft())
+
+    def _note_occupancy(self, now: int) -> None:
+        dt = now - self._last_occ_time
+        if dt > 0:
+            self.stats.observe("occupancy", len(self.buffer), dt)
+            self._last_occ_time = now
+
+    def service_one(self) -> DRAMRequest | None:
+        """Schedule and complete one request; returns it, or None if idle."""
+        self._refill()
+        if not self.buffer:
+            if not self.input_queue:
+                return None
+            # Idle gap: jump to the next arrival.
+            self._note_occupancy(self.time)
+            self.time = max(self.time, self.input_queue[0][0].arrival)
+            self._last_occ_time = self.time
+            self._refill()
+        idx = self.scheduler.pick(self.buffer, self.banks,
+                                  self.bus.last_was_write, self.time)
+        req, coord = self.buffer.pop(idx)
+        self._execute(req, coord)
+        return req
+
+    def service_until_done(self, req: DRAMRequest) -> None:
+        while not req.done:
+            if self.service_one() is None:
+                raise RuntimeError("request never enqueued on this channel")
+
+    def drain(self) -> None:
+        while self.service_one() is not None:
+            pass
+
+    # ------------------------------------------------------------- execution
+
+    def _bank(self, coord: DRAMCoord) -> BankState:
+        state = self.banks.get(coord.flat_bank)
+        if state is None:
+            state = BankState()
+            self.banks[coord.flat_bank] = state
+        return state
+
+    def _rank(self, coord: DRAMCoord) -> RankState:
+        state = self.ranks.get(coord.rank)
+        if state is None:
+            state = RankState()
+            self.ranks[coord.rank] = state
+        return state
+
+    def _execute(self, req: DRAMRequest, coord: DRAMCoord) -> None:
+        timing = self.timing
+        bank = self._bank(coord)
+        rank = self._rank(coord)
+        earliest = max(self.time, req.arrival)
+
+        if bank.is_hit(coord.row):
+            self.stats.add("row_hits")
+            req.row_hit = True
+            t_col_min = max(earliest, bank.col_ready)
+        else:
+            if bank.open_row is not None:
+                self.stats.add("row_conflicts")
+                t_pre = max(earliest, bank.pre_ready)
+                bank.precharge(t_pre, timing)
+                if self.record_commands:
+                    self.command_log.append(
+                        ("PRE", t_pre, coord.flat_bank, coord.row))
+            else:
+                self.stats.add("row_empty")
+            t_act = max(earliest, bank.act_ready,
+                        rank.earliest_act(coord.bankgroup, timing))
+            bank.activate(coord.row, t_act, timing)
+            rank.record_act(coord.bankgroup, t_act)
+            if self.record_commands:
+                self.command_log.append(
+                    ("ACT", t_act, coord.flat_bank, coord.row))
+            t_col_min = bank.col_ready
+
+        t_col = max(
+            t_col_min,
+            self.bus.earliest_col(coord.bankgroup, req.is_write, timing),
+        )
+        self.bus.record_col(coord.bankgroup, t_col, req.is_write, timing)
+        if self.record_commands:
+            self.command_log.append(
+                ("WR" if req.is_write else "RD", t_col, coord.flat_bank,
+                 coord.row))
+        if self.config.page_policy == "closed":
+            # Auto-precharge (RDA/WRA): close the row as soon as legal.
+            t_pre = bank.pre_ready
+            bank.precharge(t_pre, timing)
+            if self.record_commands:
+                self.command_log.append(("PRE", t_pre, coord.flat_bank,
+                                         coord.row))
+        if req.is_write:
+            bank.column_write(t_col, timing)
+            req.finish = t_col + timing.tCWL + timing.tBL
+        else:
+            bank.column_read(t_col, timing)
+            req.finish = t_col + timing.tCL + timing.tBL
+        req.start = t_col
+
+        self._note_occupancy(t_col)
+        self.time = max(self.time, t_col)
+        self.stats.add("serviced")
+        self.stats.add("bytes", self.config.line_bytes)
+        if self.stats.get("first_arrival", -1.0) < 0:
+            self.stats.counters["first_arrival"] = req.arrival
+        self.stats.counters["last_finish"] = max(
+            self.stats.get("last_finish"), req.finish
+        )
+
+    # ------------------------------------------------------------- metrics
+
+    def row_buffer_hit_rate(self) -> float:
+        """Fraction of serviced requests that hit an open row."""
+        serviced = self.stats.get("serviced")
+        if serviced == 0:
+            return 0.0
+        return self.stats.get("row_hits") / serviced
+
+    def mean_occupancy(self) -> float:
+        return self.stats.mean("occupancy")

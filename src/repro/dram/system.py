@@ -1,0 +1,89 @@
+"""Multi-channel DRAM system: routing, draining, and merged metrics."""
+
+from __future__ import annotations
+
+from repro.common.config import CYCLE_NS, DRAMConfig
+from repro.common.stats import Stats
+from repro.common.types import DRAMRequest
+from repro.dram.address import AddressMapper
+from repro.dram.controller import MemoryController
+
+
+class DRAMSystem:
+    """All memory channels behind a single enqueue/complete interface."""
+
+    def __init__(self, config: DRAMConfig | None = None,
+                 mapper: AddressMapper | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self.mapper = mapper or AddressMapper(self.config)
+        self.controllers = [
+            MemoryController(ch, self.config, self.mapper)
+            for ch in range(self.config.channels)
+        ]
+
+    def channel_of(self, addr: int) -> int:
+        return self.mapper.map(addr).channel
+
+    def enqueue(self, req: DRAMRequest) -> MemoryController:
+        ctrl = self.controllers[self.channel_of(req.addr)]
+        ctrl.enqueue(req)
+        return ctrl
+
+    def access(self, addr: int, is_write: bool, arrival: int,
+               meta: object = None) -> DRAMRequest:
+        """Convenience: enqueue a line request and return its record."""
+        req = DRAMRequest(addr=addr, is_write=is_write, arrival=arrival,
+                          meta=meta)
+        self.enqueue(req)
+        return req
+
+    def complete(self, req: DRAMRequest) -> int:
+        """Service the owning channel until ``req`` finishes; returns that
+        cycle."""
+        if not req.done:
+            ctrl = self.controllers[self.channel_of(req.addr)]
+            ctrl.service_until_done(req)
+        return req.finish
+
+    def drain(self) -> None:
+        for ctrl in self.controllers:
+            ctrl.drain()
+
+    # ------------------------------------------------------------- metrics
+
+    def merged_stats(self) -> Stats:
+        stats = Stats()
+        for ctrl in self.controllers:
+            stats.merge(ctrl.stats)
+        return stats
+
+    def row_buffer_hit_rate(self) -> float:
+        serviced = sum(c.stats.get("serviced") for c in self.controllers)
+        if serviced == 0:
+            return 0.0
+        hits = sum(c.stats.get("row_hits") for c in self.controllers)
+        return hits / serviced
+
+    def mean_occupancy(self) -> float:
+        """Mean request-buffer occupancy across channels (Fig. 10c)."""
+        vals = [c.mean_occupancy() for c in self.controllers
+                if c.stats.get("serviced") > 0]
+        if not vals:
+            return 0.0
+        return sum(vals) / len(vals)
+
+    def total_bytes(self) -> float:
+        return sum(c.stats.get("bytes") for c in self.controllers)
+
+    def bandwidth_utilization(self, elapsed_cycles: int) -> float:
+        """Achieved fraction of the peak DRAM bandwidth over ``elapsed``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        seconds = elapsed_cycles * CYCLE_NS * 1e-9
+        achieved = self.total_bytes() / seconds / 1e9  # GB/s
+        return achieved / self.config.peak_bw_gbps
+
+    def last_finish(self) -> int:
+        return int(max(
+            (c.stats.get("last_finish") for c in self.controllers), default=0
+        ))

@@ -1,0 +1,65 @@
+"""DX100: the programmable data access accelerator (the paper's contribution).
+
+Public surface:
+
+* :class:`DX100` — the timing-integrated accelerator instance.
+* :class:`FunctionalDX100` — the timing-free reference executor.
+* :class:`ProgramBuilder` + :mod:`repro.dx100.isa` — the programming API.
+* :class:`HostMemory` — the simulated physical memory workloads allocate in.
+* :func:`area_power` — the Table 4 area/power model.
+"""
+
+from repro.dx100.accelerator import DX100, InstrRecord
+from repro.dx100.alu import AluUnit
+from repro.dx100.api import ProgramBuilder, RegWrite, WaitTiles
+from repro.dx100.area import area_power, llc_equivalent_mb
+from repro.dx100.coherency import CoherencyAgent, RegionCoherence
+from repro.dx100.disasm import disasm, format_program, format_timeline
+from repro.dx100.encoding import decode, encode
+from repro.dx100.energy import EnergyReport, energy_estimate, energy_ratio
+from repro.dx100.functional import FunctionalDX100
+from repro.dx100.hostmem import HostMemory
+from repro.dx100.indirect_unit import IndirectUnit
+from repro.dx100.isa import Instr, Opcode
+from repro.dx100.range_fuser import RangeFuser, plan_range_chunks
+from repro.dx100.regfile import RegisterFile
+from repro.dx100.row_table import RowTable
+from repro.dx100.scratchpad import SPD_BASE, Scratchpad
+from repro.dx100.stream_unit import StreamUnit
+from repro.dx100.tlb import TLB
+from repro.dx100.word_table import WordTable
+
+__all__ = [
+    "AluUnit",
+    "CoherencyAgent",
+    "DX100",
+    "FunctionalDX100",
+    "HostMemory",
+    "IndirectUnit",
+    "Instr",
+    "InstrRecord",
+    "Opcode",
+    "ProgramBuilder",
+    "RangeFuser",
+    "RegWrite",
+    "RegionCoherence",
+    "RegisterFile",
+    "RowTable",
+    "SPD_BASE",
+    "Scratchpad",
+    "StreamUnit",
+    "TLB",
+    "WaitTiles",
+    "WordTable",
+    "area_power",
+    "decode",
+    "disasm",
+    "format_program",
+    "format_timeline",
+    "encode",
+    "EnergyReport",
+    "energy_estimate",
+    "energy_ratio",
+    "llc_equivalent_mb",
+    "plan_range_chunks",
+]

@@ -1,0 +1,73 @@
+"""The DX100 ALU unit: 16-lane vector/scalar arithmetic (Section 3.4).
+
+Executes the ALUV / ALUS instructions used for condition evaluation
+(``D[i] >= F``) and address calculation (``(C[i] & F) >> G``).  Comparison
+results are 0/1 condition tiles consumable by every other unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import AluOp, DType
+
+_BINARY = {
+    AluOp.ADD: lambda a, b: a + b,
+    AluOp.SUB: lambda a, b: a - b,
+    AluOp.MUL: lambda a, b: a * b,
+    AluOp.MIN: np.minimum,
+    AluOp.MAX: np.maximum,
+    AluOp.AND: lambda a, b: a & b,
+    AluOp.OR: lambda a, b: a | b,
+    AluOp.XOR: lambda a, b: a ^ b,
+    AluOp.SHR: lambda a, b: a >> b,
+    AluOp.SHL: lambda a, b: a << b,
+    AluOp.LT: lambda a, b: (a < b).astype(np.int64),
+    AluOp.LE: lambda a, b: (a <= b).astype(np.int64),
+    AluOp.GT: lambda a, b: (a > b).astype(np.int64),
+    AluOp.GE: lambda a, b: (a >= b).astype(np.int64),
+    AluOp.EQ: lambda a, b: (a == b).astype(np.int64),
+}
+
+RMW_UFUNCS = {
+    AluOp.ADD: np.add,
+    AluOp.MIN: np.minimum,
+    AluOp.MAX: np.maximum,
+    AluOp.AND: np.bitwise_and,
+    AluOp.OR: np.bitwise_or,
+    AluOp.XOR: np.bitwise_xor,
+}
+
+
+class AluUnit:
+    """Vector ALU over scratchpad tiles."""
+
+    def __init__(self, lanes: int = 16) -> None:
+        if lanes <= 0:
+            raise ValueError("lane count must be positive")
+        self.lanes = lanes
+
+    def apply(self, op: AluOp, a: np.ndarray, b, dtype: DType,
+              cond: np.ndarray | None = None) -> np.ndarray:
+        """``a op b`` elementwise (``b`` may be a scalar); where ``cond`` is
+        zero the lane is skipped and the output element is 0."""
+        if op not in _BINARY:
+            raise ValueError(f"unsupported ALU op {op}")
+        a = np.asarray(a)
+        if op in (AluOp.AND, AluOp.OR, AluOp.XOR, AluOp.SHR, AluOp.SHL):
+            a = a.astype(np.int64)
+            b = np.asarray(b).astype(np.int64) if not np.isscalar(b) else int(b)
+        result = _BINARY[op](a, b)
+        if not op.is_comparison:
+            np_dtype = np.dtype(dtype.numpy_name)
+            result = result.astype(np_dtype)
+        if cond is not None:
+            cond = np.asarray(cond)
+            if cond.shape != a.shape:
+                raise ValueError("condition tile shape mismatch")
+            result = np.where(cond != 0, result, np.zeros_like(result))
+        return result
+
+    def cycles(self, n: int) -> int:
+        """Execution cycles for an n-element tile."""
+        return -(-n // self.lanes)

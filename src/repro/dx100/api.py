@@ -1,0 +1,131 @@
+"""The DX100 programming API (Section 4.1).
+
+Workloads and the compiler build *programs*: flat lists of
+
+* :class:`RegWrite` — write a scalar register (loop bounds, strides),
+* :class:`repro.dx100.isa.Instr` — one accelerator instruction,
+* :class:`WaitTiles` — the ``wait`` API: spin on tiles' ready bits.
+
+The same program runs on the timing model (:class:`repro.dx100.DX100`) and
+on the functional simulator (:class:`repro.dx100.functional.FunctionalDX100`),
+which is how the paper's "functional simulator verifies correctness before
+gem5 simulation" methodology is reproduced.
+
+:class:`ProgramBuilder` adds tile/register allocation and convenience
+wrappers so kernels read like the paper's Figure 7(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DX100Config
+from repro.common.types import AluOp, DType
+from repro.dx100 import isa
+from repro.dx100.isa import Instr
+from repro.dx100.scratchpad import SPD_BASE
+
+
+@dataclass(frozen=True)
+class RegWrite:
+    reg: int
+    value: float | int
+
+
+@dataclass(frozen=True)
+class WaitTiles:
+    tiles: tuple[int, ...]
+
+
+ProgramItem = object  # RegWrite | WaitTiles | Instr
+
+
+class ProgramBuilder:
+    """Builds DX100 programs with explicit tile/register management."""
+
+    def __init__(self, config: DX100Config | None = None) -> None:
+        self.config = config or DX100Config()
+        self.items: list[ProgramItem] = []
+        self._free_tiles = list(range(self.config.num_tiles - 1, -1, -1))
+        self._free_regs = list(range(self.config.num_registers - 1, -1, -1))
+
+    # ------------------------------------------------------------ resources
+
+    def alloc_tile(self) -> int:
+        if not self._free_tiles:
+            raise RuntimeError("out of scratchpad tiles")
+        return self._free_tiles.pop()
+
+    def free_tile(self, tile: int) -> None:
+        self._free_tiles.append(tile)
+
+    def reg(self, value) -> int:
+        """Allocate a register and schedule its write."""
+        if not self._free_regs:
+            raise RuntimeError("out of registers")
+        index = self._free_regs.pop()
+        self.items.append(RegWrite(index, value))
+        return index
+
+    def set_reg(self, index: int, value) -> None:
+        self.items.append(RegWrite(index, value))
+
+    # ---------------------------------------------------------- instructions
+
+    def sld(self, dtype: DType, base: int, lo: int, hi: int, step: int = 1,
+            tc: int | None = None, td: int | None = None) -> int:
+        td = self.alloc_tile() if td is None else td
+        r_lo, r_hi, r_st = self.reg(lo), self.reg(hi), self.reg(step)
+        self.items.append(isa.sld(dtype, base, td, r_lo, r_hi, r_st, tc))
+        return td
+
+    def sst(self, dtype: DType, base: int, ts: int, lo: int, hi: int,
+            step: int = 1, tc: int | None = None) -> None:
+        r_lo, r_hi, r_st = self.reg(lo), self.reg(hi), self.reg(step)
+        self.items.append(isa.sst(dtype, base, ts, r_lo, r_hi, r_st, tc))
+
+    def ild(self, dtype: DType, base: int, ts1: int, tc: int | None = None,
+            td: int | None = None) -> int:
+        td = self.alloc_tile() if td is None else td
+        self.items.append(isa.ild(dtype, base, td, ts1, tc))
+        return td
+
+    def ist(self, dtype: DType, base: int, ts1: int, ts2: int,
+            tc: int | None = None) -> None:
+        self.items.append(isa.ist(dtype, base, ts1, ts2, tc))
+
+    def irmw(self, dtype: DType, base: int, op: AluOp, ts1: int, ts2: int,
+             tc: int | None = None) -> None:
+        self.items.append(isa.irmw(dtype, base, op, ts1, ts2, tc))
+
+    def aluv(self, dtype: DType, op: AluOp, ts1: int, ts2: int,
+             tc: int | None = None, td: int | None = None) -> int:
+        td = self.alloc_tile() if td is None else td
+        self.items.append(isa.aluv(dtype, op, td, ts1, ts2, tc))
+        return td
+
+    def alus(self, dtype: DType, op: AluOp, ts: int, scalar,
+             tc: int | None = None, td: int | None = None) -> int:
+        td = self.alloc_tile() if td is None else td
+        r = self.reg(scalar)
+        self.items.append(isa.alus(dtype, op, td, ts, r, tc))
+        return td
+
+    def rng(self, ts_lo: int, ts_hi: int, outer_base: int = 0,
+            tc: int | None = None) -> tuple[int, int]:
+        td1, td2 = self.alloc_tile(), self.alloc_tile()
+        r = self.reg(outer_base)
+        self.items.append(isa.rng(td1, td2, ts_lo, ts_hi, r, tc))
+        return td1, td2
+
+    def wait(self, *tiles: int) -> None:
+        self.items.append(WaitTiles(tuple(tiles)))
+
+    # -------------------------------------------------------------- helpers
+
+    def spd_addr(self, tile: int, elem: int = 0, word_bytes: int = 4) -> int:
+        """Core-visible address of a scratchpad element (Figure 6)."""
+        return SPD_BASE + (tile * self.config.tile_elems + elem) * word_bytes
+
+    def build(self) -> list[ProgramItem]:
+        return list(self.items)

@@ -1,0 +1,78 @@
+"""Area and power model (the paper's Table 4).
+
+The per-module 28 nm numbers come from the paper's Design Compiler
+synthesis; we reproduce the arithmetic: module totals, the 28 nm -> 14 nm
+technology scaling (Stillmaker & Baas equations, which the paper applies to
+get ~1.5 mm^2), and the processor overhead against Skylake die-shot
+estimates (10.1 mm^2 per core, 2.3 mm^2 per 2 MB LLC slice).
+
+The scratchpad entry scales linearly with configured capacity so tile-size
+sensitivity studies (Figure 13) can report their area cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DX100Config
+
+# Table 4, 28nm: module -> (area mm^2, power mW)
+TABLE4_28NM = {
+    "range_fuser": (0.001, 0.26),
+    "alu": (0.095, 74.83),
+    "stream_access": (0.012, 6.03),
+    "indirect_access": (0.323, 83.70),
+    "controller": (0.002, 0.43),
+    "interface": (0.045, 30.0),
+    "coherency_agent": (0.010, 3.12),
+    "register_file": (0.005, 1.56),
+    "scratchpad": (3.566, 577.03),
+}
+
+# Stillmaker & Baas scaling from 28 nm to 14 nm as applied in the paper:
+# 4.061 mm^2 -> ~1.5 mm^2, i.e. an area factor of ~0.369.
+AREA_SCALE_28_TO_14 = 1.5 / 4.061
+SKYLAKE_CORE_MM2_14NM = 10.1
+LLC_SLICE_2MB_MM2_14NM = 2.3
+
+_REFERENCE_SPD_BYTES = 2 * 1024 * 1024  # 32 tiles x 16K x 4B
+
+
+@dataclass
+class AreaReport:
+    modules: dict[str, tuple[float, float]]
+    total_area_mm2: float
+    total_power_mw: float
+    area_14nm_mm2: float
+    overhead_percent: float
+
+
+def area_power(config: DX100Config | None = None, cores: int = 4) -> AreaReport:
+    """Area/power breakdown for a DX100 instance.
+
+    The scratchpad scales with the configured capacity; every other module
+    is capacity-independent at first order.
+    """
+    cfg = config or DX100Config()
+    scale_spd = cfg.spd_bytes / _REFERENCE_SPD_BYTES
+    modules = {}
+    for name, (area, power) in TABLE4_28NM.items():
+        if name == "scratchpad":
+            modules[name] = (area * scale_spd, power * scale_spd)
+        else:
+            modules[name] = (area, power)
+    total_area = sum(a for a, _ in modules.values())
+    total_power = sum(p for _, p in modules.values())
+    area_14 = total_area * AREA_SCALE_28_TO_14
+    processor_area = cores * SKYLAKE_CORE_MM2_14NM
+    overhead = 100.0 * area_14 / processor_area
+    return AreaReport(modules=modules, total_area_mm2=total_area,
+                      total_power_mw=total_power, area_14nm_mm2=area_14,
+                      overhead_percent=overhead)
+
+
+def llc_equivalent_mb(config: DX100Config | None = None) -> float:
+    """How much LLC the DX100 area could buy instead (the paper gives the
+    baseline a 2 MB larger LLC for fairness, Section 5)."""
+    report = area_power(config)
+    return 2.0 * report.area_14nm_mm2 / LLC_SLICE_2MB_MM2_14NM

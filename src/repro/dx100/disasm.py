@@ -1,0 +1,82 @@
+"""Human-readable disassembly of DX100 instructions and programs."""
+
+from __future__ import annotations
+
+from repro.dx100.api import RegWrite, WaitTiles
+from repro.dx100.isa import Instr, Opcode
+
+
+def disasm(instr: Instr) -> str:
+    """One-line assembly-like rendering of an instruction."""
+    cond = f" if T{instr.tc}" if instr.tc is not None else ""
+    dt = f".{instr.dtype.value}" if instr.dtype else ""
+    op = instr.op.value if instr.op else ""
+    base = f"0x{instr.base:x}" if instr.base is not None else "?"
+    if instr.opcode == Opcode.ILD:
+        return f"ILD{dt}  T{instr.td} <- [{base} + T{instr.ts1}]{cond}"
+    if instr.opcode == Opcode.IST:
+        return f"IST{dt}  [{base} + T{instr.ts1}] <- T{instr.ts2}{cond}"
+    if instr.opcode == Opcode.IRMW:
+        return (f"IRMW{dt} [{base} + T{instr.ts1}] {op}= "
+                f"T{instr.ts2}{cond}")
+    if instr.opcode == Opcode.SLD:
+        return (f"SLD{dt}  T{instr.td} <- [{base} + (R{instr.rs1}:"
+                f"R{instr.rs2}:R{instr.rs3})]{cond}")
+    if instr.opcode == Opcode.SST:
+        return (f"SST{dt}  [{base} + (R{instr.rs1}:R{instr.rs2}:"
+                f"R{instr.rs3})] <- T{instr.ts1}{cond}")
+    if instr.opcode == Opcode.ALUV:
+        return (f"ALUV{dt} T{instr.td} <- T{instr.ts1} {op} "
+                f"T{instr.ts2}{cond}")
+    if instr.opcode == Opcode.ALUS:
+        return (f"ALUS{dt} T{instr.td} <- T{instr.ts1} {op} "
+                f"R{instr.rs1}{cond}")
+    if instr.opcode == Opcode.RNG:
+        return (f"RNG   (T{instr.td}, T{instr.td2}) <- fuse[T{instr.ts1}, "
+                f"T{instr.ts2}) base=R{instr.rs1}{cond}")
+    raise ValueError(f"unknown opcode {instr.opcode}")
+
+
+def format_timeline(records, width: int = 60) -> str:
+    """Gantt-style text timeline of executed instruction records.
+
+    Each row is one instruction; ``.`` marks dispatch-to-start waiting
+    (scoreboard/unit hazards) and ``#`` marks start-to-finish execution,
+    so unit overlap and the finish-bit pipelining are visible at a glance.
+    """
+    if not records:
+        return "(no instructions executed)"
+    t0 = min(r.dispatch for r in records)
+    t1 = max(r.finish for r in records)
+    span = max(1, t1 - t0)
+
+    def col(t: int) -> int:
+        return round((t - t0) * (width - 1) / span)
+
+    lines = []
+    for r in records:
+        row = [" "] * width
+        for x in range(col(r.dispatch), col(r.start)):
+            row[x] = "."
+        for x in range(col(r.start), col(r.finish) + 1):
+            row[x] = "#"
+        label = disasm(r.instr).split("  ")[0]
+        lines.append(f"{label:9s} |{''.join(row)}| "
+                     f"{r.start}..{r.finish}")
+    return "\n".join(lines)
+
+
+def format_program(items) -> str:
+    """Render a full program (RegWrites, instructions, waits)."""
+    lines = []
+    for item in items:
+        if isinstance(item, RegWrite):
+            lines.append(f"      R{item.reg} <- {item.value}")
+        elif isinstance(item, WaitTiles):
+            tiles = ", ".join(f"T{t}" for t in item.tiles)
+            lines.append(f"      wait({tiles})")
+        elif isinstance(item, Instr):
+            lines.append(f"      {disasm(item)}")
+        else:
+            lines.append(f"      <core work: {item!r}>")
+    return "\n".join(lines)

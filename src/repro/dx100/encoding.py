@@ -1,0 +1,73 @@
+"""192-bit binary encoding of DX100 instructions.
+
+Instructions travel from cores to DX100 as three 64-bit memory-mapped
+stores (Section 3.5).  The layout packs, LSB first:
+
+word 0:  opcode(4) | dtype(3) | op(5) | td(6) | td2(6) | ts1(6) | ts2(6)
+         | tc(6) | rs1(6) | rs2(6) | rs3(6)   (= 60 bits used)
+word 1:  base physical address (64)
+word 2:  reserved / zero (64)
+
+Tile and register operand fields use 6 bits; the all-ones value (63)
+encodes "absent".
+"""
+
+from __future__ import annotations
+
+from repro.common.types import AluOp, DType
+from repro.dx100.isa import Instr, Opcode
+
+_NONE = 63
+_DTYPES = list(DType)
+_OPS = list(AluOp)
+
+_FIELDS = (  # (name, width) in word 0, LSB first after opcode/dtype/op
+    ("td", 6), ("td2", 6), ("ts1", 6), ("ts2", 6), ("tc", 6),
+    ("rs1", 6), ("rs2", 6), ("rs3", 6),
+)
+
+
+def encode(instr: Instr) -> tuple[int, int, int]:
+    """Pack an instruction into three 64-bit words."""
+    word0 = instr.opcode.value & 0xF
+    shift = 4
+    dtype_code = _DTYPES.index(instr.dtype) + 1 if instr.dtype else 0
+    word0 |= dtype_code << shift
+    shift += 3
+    op_code = _OPS.index(instr.op) + 1 if instr.op else 0
+    word0 |= op_code << shift
+    shift += 5
+    for name, width in _FIELDS:
+        value = getattr(instr, name)
+        if value is None:
+            value = _NONE
+        elif not 0 <= value < _NONE:
+            raise ValueError(f"operand {name}={value} out of range")
+        word0 |= value << shift
+        shift += width
+    base = instr.base if instr.base is not None else 0
+    if not 0 <= base < (1 << 64):
+        raise ValueError("base address out of range")
+    return (word0, base, 0)
+
+
+def decode(words: tuple[int, int, int]) -> Instr:
+    """Unpack three 64-bit words into an instruction."""
+    word0, base, _ = words
+    opcode = Opcode(word0 & 0xF)
+    shift = 4
+    dtype_code = (word0 >> shift) & 0x7
+    dtype = _DTYPES[dtype_code - 1] if dtype_code else None
+    shift += 3
+    op_code = (word0 >> shift) & 0x1F
+    op = _OPS[op_code - 1] if op_code else None
+    shift += 5
+    fields = {}
+    for name, width in _FIELDS:
+        value = (word0 >> shift) & ((1 << width) - 1)
+        fields[name] = None if value == _NONE else value
+        shift += width
+    has_base = opcode in (Opcode.ILD, Opcode.IST, Opcode.IRMW,
+                          Opcode.SLD, Opcode.SST)
+    return Instr(opcode=opcode, dtype=dtype,
+                 base=base if has_base else None, op=op, **fields)

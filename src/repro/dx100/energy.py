@@ -1,0 +1,70 @@
+"""First-order energy model.
+
+The paper argues DX100's 3.6x dynamic-instruction reduction "can
+significantly improve CPU core energy consumption" (Section 6.2) and
+reports DX100's own power in Table 4.  This module composes those numbers
+into a per-run energy estimate:
+
+* core dynamic energy   — instructions x energy/instruction (Horowitz-style
+  scalar-op budget for a wide OoO core, dominated by fetch/rename/issue);
+* core static energy    — per-core leakage x runtime;
+* DRAM energy           — bytes moved x pJ/byte (activation + IO averaged);
+* DX100 energy          — Table 4 power x runtime (when present).
+
+All constants are order-of-magnitude 14 nm figures; the model is for the
+*relative* comparison between configurations, like the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import CYCLE_NS, DX100Config
+from repro.dx100.area import area_power
+
+CORE_ENERGY_PER_INSTR_PJ = 150.0   # wide OoO core, per dynamic instruction
+CORE_STATIC_MW = 500.0             # per-core leakage + clock tree
+DRAM_PJ_PER_BYTE = 40.0            # DDR4 activation + IO, averaged
+
+
+@dataclass
+class EnergyReport:
+    """Energy components of one run, in millijoules."""
+
+    core_dynamic_mj: float
+    core_static_mj: float
+    dram_mj: float
+    dx100_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return (self.core_dynamic_mj + self.core_static_mj
+                + self.dram_mj + self.dx100_mj)
+
+
+def energy_estimate(result, cores: int = 4,
+                    dx100_config: DX100Config | None = None) -> EnergyReport:
+    """Estimate the energy of one :class:`repro.sim.RunResult`.
+
+    ``dx100_config`` should be passed for DX100 runs so the accelerator's
+    Table 4 power is charged for the whole runtime.
+    """
+    seconds = result.cycles * CYCLE_NS * 1e-9
+    core_dynamic = result.instructions * CORE_ENERGY_PER_INSTR_PJ * 1e-9  # mJ
+    core_static = CORE_STATIC_MW * cores * seconds  # mW * s = mJ
+    dram = result.dram_bytes * DRAM_PJ_PER_BYTE * 1e-9
+    dx100 = 0.0
+    if dx100_config is not None:
+        dx100 = area_power(dx100_config).total_power_mw * seconds
+    return EnergyReport(core_dynamic_mj=core_dynamic,
+                        core_static_mj=core_static,
+                        dram_mj=dram, dx100_mj=dx100)
+
+
+def energy_ratio(baseline_result, dx100_result, cores: int = 4,
+                 dx100_config: DX100Config | None = None) -> float:
+    """Baseline energy / DX100 energy (> 1 means DX100 saves energy)."""
+    base = energy_estimate(baseline_result, cores)
+    dx = energy_estimate(dx100_result, cores,
+                         dx100_config or DX100Config())
+    return base.total_mj / dx.total_mj

@@ -1,0 +1,133 @@
+"""Functional (timing-free) DX100 simulator.
+
+Executes the same programs as the timing model against the same host
+memory, using an independent, direct NumPy implementation of each
+instruction's semantics.  The paper used exactly this methodology: "a
+functional simulator for DX100 APIs was developed to ensure the
+correctness of the implementations before simulation" (Section 5).
+Divergence between this simulator and the timing model is a bug in one of
+them; the test suite cross-checks both on every workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import DX100Config
+from repro.dx100.alu import RMW_UFUNCS, AluUnit
+from repro.dx100.api import RegWrite, WaitTiles
+from repro.dx100.hostmem import HostMemory
+from repro.dx100.isa import Instr
+from repro.dx100.range_fuser import RangeFuser
+
+
+class FunctionalDX100:
+    """Reference executor for DX100 programs."""
+
+    def __init__(self, config: DX100Config | None, hostmem: HostMemory) -> None:
+        self.config = config or DX100Config()
+        self.hostmem = hostmem
+        self.tiles: dict[int, np.ndarray] = {}
+        self.regs: list[float | int] = [0] * self.config.num_registers
+        self._alu = AluUnit(self.config.alu_lanes)
+        self._fuser = RangeFuser()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _cond(self, instr: Instr, n: int) -> np.ndarray | None:
+        if instr.tc is None:
+            return None
+        cond = self.tiles[instr.tc]
+        if len(cond) < n:
+            raise ValueError("condition tile too short")
+        return np.asarray(cond[:n])
+
+    def _mask(self, instr: Instr, n: int) -> np.ndarray:
+        cond = self._cond(instr, n)
+        return np.ones(n, dtype=bool) if cond is None else cond != 0
+
+    # ------------------------------------------------------------- executor
+
+    def run(self, items) -> None:
+        for item in items:
+            if isinstance(item, RegWrite):
+                self.regs[item.reg] = item.value
+            elif isinstance(item, WaitTiles):
+                continue  # no timing: tiles are always "ready"
+            elif isinstance(item, Instr):
+                self._execute(item)
+            else:
+                raise TypeError(f"unknown program item {item!r}")
+
+    def _execute(self, instr: Instr) -> None:
+        handler = getattr(self, f"_exec_{instr.opcode.name.lower()}")
+        handler(instr)
+
+    def _loop_indices(self, instr: Instr) -> np.ndarray:
+        lo = int(self.regs[instr.rs1])
+        hi = int(self.regs[instr.rs2])
+        step = int(self.regs[instr.rs3])
+        return np.arange(lo, hi, step, dtype=np.int64)
+
+    def _exec_sld(self, instr: Instr) -> None:
+        # Positional semantics: element i of the tile corresponds to loop
+        # iteration i; condition-skipped iterations leave zeros.
+        idx = self._loop_indices(instr)
+        mask = self._mask(instr, len(idx))
+        addrs = instr.base + idx[mask] * instr.dtype.nbytes
+        out = np.zeros(len(idx), dtype=instr.dtype.numpy_name)
+        out[mask] = self.hostmem.read_words(addrs, instr.dtype)
+        self.tiles[instr.td] = out
+
+    def _exec_sst(self, instr: Instr) -> None:
+        idx = self._loop_indices(instr)
+        mask = self._mask(instr, len(idx))
+        values = np.asarray(self.tiles[instr.ts1])[:len(idx)]
+        addrs = instr.base + idx[mask] * instr.dtype.nbytes
+        self.hostmem.write_words(addrs, values[mask], instr.dtype)
+
+    def _exec_ild(self, instr: Instr) -> None:
+        indices = np.asarray(self.tiles[instr.ts1], dtype=np.int64)
+        mask = self._mask(instr, len(indices))
+        addrs = instr.base + indices[mask] * instr.dtype.nbytes
+        out = np.zeros(len(indices), dtype=instr.dtype.numpy_name)
+        out[mask] = self.hostmem.read_words(addrs, instr.dtype)
+        self.tiles[instr.td] = out
+
+    def _exec_ist(self, instr: Instr) -> None:
+        indices = np.asarray(self.tiles[instr.ts1], dtype=np.int64)
+        mask = self._mask(instr, len(indices))
+        values = np.asarray(self.tiles[instr.ts2])[:len(indices)]
+        addrs = instr.base + indices[mask] * instr.dtype.nbytes
+        self.hostmem.write_words(addrs, values[mask], instr.dtype)
+
+    def _exec_irmw(self, instr: Instr) -> None:
+        indices = np.asarray(self.tiles[instr.ts1], dtype=np.int64)
+        mask = self._mask(instr, len(indices))
+        values = np.asarray(self.tiles[instr.ts2])[:len(indices)]
+        addrs = instr.base + indices[mask] * instr.dtype.nbytes
+        self.hostmem.rmw_words(addrs, values[mask], instr.dtype,
+                               RMW_UFUNCS[instr.op])
+
+    def _exec_aluv(self, instr: Instr) -> None:
+        a = self.tiles[instr.ts1]
+        b = self.tiles[instr.ts2]
+        self.tiles[instr.td] = self._alu.apply(
+            instr.op, a, b, instr.dtype, self._cond(instr, len(a)))
+
+    def _exec_alus(self, instr: Instr) -> None:
+        a = self.tiles[instr.ts1]
+        scalar = self.regs[instr.rs1]
+        self.tiles[instr.td] = self._alu.apply(
+            instr.op, a, scalar, instr.dtype, self._cond(instr, len(a)))
+
+    def _exec_rng(self, instr: Instr) -> None:
+        lows = self.tiles[instr.ts1]
+        highs = self.tiles[instr.ts2]
+        outer0 = int(self.regs[instr.rs1]) if instr.rs1 is not None else 0
+        outer_ids = outer0 + np.arange(len(lows), dtype=np.int64)
+        cond = self._cond(instr, len(lows))
+        outer, inner = self._fuser.fuse(lows, highs, outer_ids, cond,
+                                        capacity=self.config.tile_elems)
+        self.tiles[instr.td] = outer
+        self.tiles[instr.td2] = inner

@@ -1,0 +1,117 @@
+"""Flat host-memory model backing the functional side of the simulation.
+
+Workloads allocate their arrays here; both the CPU-side reference kernels
+and the DX100 functional/timing models read and write the same backing
+store, which is what lets every experiment cross-check the accelerator's
+results against a NumPy reference.
+
+Addresses are *physical*: the allocator hands out bump-pointer regions
+(page-aligned) inside a single byte buffer, so an address is an offset that
+the DRAM address mapper can decode directly (the paper's huge-page,
+identity-translated regime, Section 3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import DType, Interval
+
+PAGE = 2 * 1024 * 1024  # huge page
+
+
+class HostMemory:
+    """Bump-pointer allocator over one flat byte buffer."""
+
+    def __init__(self, size_bytes: int = 1 << 26, base: int = PAGE) -> None:
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.base = base
+        self.size = size_bytes
+        self._buf = np.zeros(size_bytes, dtype=np.uint8)
+        self._next = 0
+        self._segments: dict[str, tuple[int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------ allocation
+
+    def alloc(self, name: str, shape, dtype: DType | str,
+              align: int = 4096) -> int:
+        """Allocate a named array; returns its base physical address."""
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already allocated")
+        np_dtype = np.dtype(dtype.numpy_name if isinstance(dtype, DType)
+                            else dtype)
+        count = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+        nbytes = count * np_dtype.itemsize
+        offset = -(-self._next // align) * align  # round up
+        if offset + nbytes > self.size:
+            raise MemoryError(
+                f"out of simulated memory allocating {name!r} "
+                f"({nbytes} bytes at offset {offset}/{self.size})"
+            )
+        view = self._buf[offset:offset + nbytes].view(np_dtype)
+        if not np.isscalar(shape):
+            view = view.reshape(shape)
+        self._next = offset + nbytes
+        self._segments[name] = (self.base + offset, view)
+        return self.base + offset
+
+    def place(self, name: str, array: np.ndarray, align: int = 4096) -> int:
+        """Allocate and initialize a segment from an existing array."""
+        addr = self.alloc(name, array.shape, str(array.dtype), align)
+        self.view(name)[...] = array
+        return addr
+
+    def view(self, name: str) -> np.ndarray:
+        """The live NumPy view of a segment (mutations are visible to all)."""
+        return self._segments[name][1]
+
+    def addr_of(self, name: str) -> int:
+        return self._segments[name][0]
+
+    def interval_of(self, name: str) -> Interval:
+        addr, view = self._segments[name]
+        return Interval(addr, addr + view.nbytes)
+
+    # ------------------------------------------------------------ raw access
+
+    def _offset(self, addr: int, nbytes: int) -> int:
+        off = addr - self.base
+        if not 0 <= off <= self.size - nbytes:
+            raise IndexError(f"address {addr:#x} outside simulated memory")
+        return off
+
+    def read_words(self, addrs, dtype: DType) -> np.ndarray:
+        """Vectorized typed read at arbitrary (aligned) addresses."""
+        np_dtype = np.dtype(dtype.numpy_name)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        offs = addrs - self.base
+        if offs.size and (offs.min() < 0
+                          or offs.max() > self.size - np_dtype.itemsize):
+            raise IndexError("address outside simulated memory")
+        if offs.size and (offs % np_dtype.itemsize).any():
+            raise ValueError("misaligned typed read")
+        flat = self._buf.view(np_dtype)
+        return flat[offs // np_dtype.itemsize].copy()
+
+    def write_words(self, addrs, values, dtype: DType) -> None:
+        """Vectorized typed write; duplicate addresses: last value wins."""
+        np_dtype = np.dtype(dtype.numpy_name)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        offs = addrs - self.base
+        if offs.size and (offs.min() < 0
+                          or offs.max() > self.size - np_dtype.itemsize):
+            raise IndexError("address outside simulated memory")
+        if offs.size and (offs % np_dtype.itemsize).any():
+            raise ValueError("misaligned typed write")
+        flat = self._buf.view(np_dtype)
+        flat[offs // np_dtype.itemsize] = np.asarray(values, dtype=np_dtype)
+
+    def rmw_words(self, addrs, values, dtype: DType, ufunc) -> None:
+        """Vectorized read-modify-write using an unbuffered NumPy ufunc
+        (``np.add``, ``np.minimum``, ...) so duplicate addresses accumulate."""
+        np_dtype = np.dtype(dtype.numpy_name)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        offs = (addrs - self.base) // np_dtype.itemsize
+        flat = self._buf.view(np_dtype)
+        ufunc.at(flat, offs, np.asarray(values, dtype=np_dtype))

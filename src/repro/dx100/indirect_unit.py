@@ -1,0 +1,228 @@
+"""The Indirect Access unit (Section 3.2): fill / request / response.
+
+The unit executes ILD / IST / IRMW over a tile of indices:
+
+1. **Fill** — decode each index to DRAM coordinates and insert into the
+   Row/Word tables (coalescing duplicate lines).  When a slice runs out of
+   BCAM entries the table drains mid-fill.
+2. **Request** — drained lines issue in the Row Table's interleaved,
+   row-grouped order.  Lines whose H bit is set (cached somewhere, learned
+   by snooping at first touch) go through the Cache Interface; the rest
+   bypass the LLC straight into the memory controllers — the path that
+   escapes core-side MSHR limits.
+3. **Response** — the Word Table linked list recovers which tile elements
+   each returning line serves; the Word Modifier extracts words (ILD),
+   inserts words (IST), or applies the arithmetic op (IRMW), writing
+   modified lines back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.config import DX100Config
+from repro.common.stats import Stats
+from repro.common.types import AluOp, DRAMCoord, DType
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.dram.system import DRAMSystem
+from repro.dx100.alu import RMW_UFUNCS
+from repro.dx100.hostmem import HostMemory
+from repro.dx100.row_table import PendingLine, RowTable
+from repro.dx100.tlb import TLB
+from repro.dx100.word_table import WordTable
+
+RESPONSE_LATENCY = 16  # word-modifier pipeline depth, cycles
+
+
+@dataclass
+class IndirectResult:
+    """Outcome of one indirect instruction over a tile."""
+
+    values: np.ndarray | None     # gathered words (ILD only)
+    finish: int
+    elements: int
+    unique_lines: int
+    drains: int
+    start: int = 0
+    busy_until: int = 0   # fill-stage end: when the unit can accept more
+
+    @property
+    def coalescing(self) -> float:
+        return self.elements / self.unique_lines if self.unique_lines else 1.0
+
+    @property
+    def stream_rate(self) -> float:
+        """Approximate elements-per-cycle delivery rate (for consumers that
+        overlap with this instruction through the finish bits)."""
+        return self.elements / max(1, self.finish - self.start)
+
+
+class IndirectUnit:
+    """ILD/IST/IRMW execution through Row Table + Word Table."""
+
+    def __init__(self, config: DX100Config, hierarchy: MemoryHierarchy,
+                 dram: DRAMSystem, hostmem: HostMemory, tlb: TLB,
+                 stats: Stats | None = None) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.dram = dram
+        self.hostmem = hostmem
+        self.tlb = tlb
+        self.stats = stats if stats is not None else Stats()
+        self.mapper = dram.mapper
+        self.line_bytes = hierarchy.line
+
+    # ----------------------------------------------------------------- fill
+
+    def execute(self, kind: str, base: int, dtype: DType,
+                indices: np.ndarray, cond: np.ndarray | None,
+                src_values: np.ndarray | None, t_start: int,
+                op: AluOp | None = None,
+                index_avail: tuple[int, float] | None = None
+                ) -> IndirectResult:
+        """Run one indirect instruction.
+
+        ``index_avail`` is (t0, rate): element ``e`` of the index tile
+        becomes available at ``t0 + e / rate`` — the fine-grained overlap
+        with a producing SLD that the scratchpad finish bits enable.
+        ``kind`` is "ld", "st", or "rmw".
+        """
+        if kind not in ("ld", "st", "rmw"):
+            raise ValueError(f"unknown indirect kind {kind!r}")
+        if kind == "rmw" and (op is None or not op.is_commutative_associative):
+            raise ValueError("IRMW needs a commutative+associative op")
+
+        indices = np.asarray(indices, dtype=np.int64)
+        n_tile = len(indices)
+        iters = np.arange(n_tile, dtype=np.int64)
+        if cond is not None:
+            if len(cond) < n_tile:
+                raise ValueError("condition tile shorter than index tile")
+            keep = np.asarray(cond[:n_tile]) != 0
+            iters = iters[keep]
+            sel_idx = indices[keep]
+        else:
+            sel_idx = indices
+        addrs = base + sel_idx * dtype.nbytes
+
+        t = t_start + (self.tlb.translate_tile(addrs) if addrs.size else 0)
+        fields = self.mapper.map_arrays(addrs) if addrs.size else None
+
+        row_table = RowTable(self.config.row_table_rows,
+                             self.config.row_table_cols)
+        word_table = WordTable(max(n_tile, 1))
+        drains = 0
+        pending_reqs: list[tuple[PendingLine, object]] = []
+
+        fill_rate = self.config.fill_rate
+        avail_t0, avail_rate = index_avail if index_avail else (t, float("inf"))
+        fill_cursor = float(t)
+
+        if fields is not None:
+            chans = fields["channel"].tolist()
+            ranks = fields["rank"].tolist()
+            bgs = fields["bankgroup"].tolist()
+            banks = fields["bank"].tolist()
+            rows = fields["row"].tolist()
+            cols = fields["column"].tolist()
+            lines = fields["line"].tolist()
+            offs = (addrs % self.line_bytes).tolist()
+            it_list = iters.tolist()
+            for e in range(len(it_list)):
+                coord = DRAMCoord(channel=chans[e], rank=ranks[e],
+                                  bankgroup=bgs[e], bank=banks[e],
+                                  row=rows[e], column=cols[e])
+                fill_cursor = max(fill_cursor + 1.0 / fill_rate,
+                                  avail_t0 + e / avail_rate)
+                accepted, prev = row_table.insert(
+                    coord, lines[e], it_list[e], self.hierarchy.snoop)
+                if not accepted:
+                    # Capacity drain, then retry (must succeed on empty table).
+                    pending_reqs += self._drain(row_table, int(fill_cursor),
+                                                kind)
+                    drains += 1
+                    accepted, prev = row_table.insert(
+                        coord, lines[e], it_list[e], self.hierarchy.snoop)
+                    if not accepted:
+                        raise RuntimeError("insert failed on empty Row Table")
+                word_table.insert(it_list[e], offs[e], prev)
+
+        pending_reqs += self._drain(row_table, int(fill_cursor), kind)
+        drains += 1
+
+        # ------------------------------------------------------- response
+        finish = int(fill_cursor)
+        served = 0
+        for pline, access in pending_reqs:
+            completion = access.resolve(self.dram)
+            chain = word_table.traverse(pline.tail_i)
+            served += len(chain)
+            if kind in ("st", "rmw") and not pline.h_bit:
+                # Write the modified line back through the DRAM interface.
+                wr = self.dram.access(pline.line_addr, is_write=True,
+                                      arrival=completion + 1)
+                completion = max(completion, wr.arrival)
+            finish = max(finish, completion)
+        if iters.size and served != iters.size:
+            raise RuntimeError(
+                f"word table served {served} of {iters.size} elements"
+            )
+        finish += RESPONSE_LATENCY
+
+        # ------------------------------------------------------ functional
+        values = None
+        if kind == "ld":
+            values = np.zeros(n_tile, dtype=dtype.numpy_name)
+            if addrs.size:
+                values[iters] = self.hostmem.read_words(addrs, dtype)
+        elif kind == "st":
+            if addrs.size:
+                src = np.asarray(src_values)[iters]
+                self.hostmem.write_words(addrs, src, dtype)
+        else:  # rmw
+            if addrs.size:
+                src = np.asarray(src_values)[iters]
+                self.hostmem.rmw_words(addrs, src, dtype, RMW_UFUNCS[op])
+
+        unique = row_table.unique_lines
+        self.stats.add(f"i{kind}_elements", iters.size)
+        self.stats.add(f"i{kind}_lines", unique)
+        self.stats.add("indirect_drains", drains)
+        return IndirectResult(values=values, finish=finish,
+                              elements=int(iters.size), unique_lines=unique,
+                              drains=drains, start=t,
+                              busy_until=int(fill_cursor))
+
+    # ---------------------------------------------------------------- drain
+
+    def _drain(self, row_table: RowTable, t: int,
+               kind: str) -> list[tuple[PendingLine, object]]:
+        """Request stage: issue drained lines in interleaved order."""
+        out = []
+        drain_rate = self.config.drain_rate
+        for j, pline in enumerate(row_table.drain()):
+            arrival = t + j // drain_rate
+            if pline.h_bit:
+                access = self.hierarchy.llc_access(
+                    pline.line_addr, kind in ("st", "rmw"), arrival)
+            else:
+                req = self.dram.access(pline.line_addr, is_write=False,
+                                       arrival=arrival)
+                access = _DirectAccess(req)
+            out.append((pline, access))
+        return out
+
+
+class _DirectAccess:
+    """Adapter giving DRAM-direct requests the AccessResult resolve API."""
+
+    def __init__(self, request) -> None:
+        self.request = request
+        self.complete = -1
+
+    def resolve(self, dram: DRAMSystem) -> int:
+        if self.complete < 0:
+            self.complete = dram.complete(self.request)
+        return self.complete

@@ -1,0 +1,136 @@
+"""The DX100 instruction set (the paper's Table 2).
+
+Eight instructions over scratchpad tiles (T*), scalar registers (R*), and a
+base array address::
+
+    ILD  dtype base       TD  TS1      TC    TD[i] = base[TS1[i]]         if TC[i]
+    IST  dtype base       TS1 TS2      TC    base[TS1[i]] = TS2[i]        if TC[i]
+    IRMW dtype base op    TS1 TS2      TC    base[TS1[i]] op= TS2[i]      if TC[i]
+    SLD  dtype base TD  RS1 RS2 RS3    TC    TD[i] = base[rs1 + i*rs3], i < (rs2-rs1)/rs3, if TC[i]
+    SST  dtype base TS  RS1 RS2 RS3    TC    base[rs1 + i*rs3] = TS[i]    if TC[i]
+    ALUV dtype op  TD  TS1 TS2         TC    TD[i] = TS1[i] op TS2[i]     if TC[i]
+    ALUS dtype op  TD  TS  RS          TC    TD[i] = TS[i]  op rs         if TC[i]
+    RNG        TD1 TD2 TS1 TS2 RS1     TC    fuse ranges [TS1[i], TS2[i]) into
+                                             (outer TD1, inner TD2), rs1 = id base
+
+Condition tiles hold 0/1 words; ``tc=None`` means unconditional.  IRMW is
+restricted to commutative+associative ops because the indirect unit reorders
+updates (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.types import AluOp, DType
+
+
+class Opcode(enum.Enum):
+    """The eight DX100 instruction opcodes (Table 2)."""
+
+    ILD = 0
+    IST = 1
+    IRMW = 2
+    SLD = 3
+    SST = 4
+    ALUV = 5
+    ALUS = 6
+    RNG = 7
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded DX100 instruction.
+
+    Tile operands are scratchpad tile ids; register operands are register
+    file indices.  Unused operands are None.
+    """
+
+    opcode: Opcode
+    dtype: DType | None = None
+    base: int | None = None
+    op: AluOp | None = None
+    td: int | None = None
+    td2: int | None = None
+    ts1: int | None = None
+    ts2: int | None = None
+    tc: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    rs3: int | None = None
+
+    def source_tiles(self) -> tuple[int, ...]:
+        srcs = [t for t in (self.ts1, self.ts2, self.tc) if t is not None]
+        return tuple(srcs)
+
+    def dest_tiles(self) -> tuple[int, ...]:
+        dests = [t for t in (self.td, self.td2) if t is not None]
+        return tuple(dests)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode in (Opcode.ILD, Opcode.IST, Opcode.IRMW)
+
+    @property
+    def is_stream(self) -> bool:
+        return self.opcode in (Opcode.SLD, Opcode.SST)
+
+
+def ild(dtype: DType, base: int, td: int, ts1: int,
+        tc: int | None = None) -> Instr:
+    """Indirect load: ``TD[i] = base[TS1[i]]``."""
+    return Instr(Opcode.ILD, dtype=dtype, base=base, td=td, ts1=ts1, tc=tc)
+
+
+def ist(dtype: DType, base: int, ts1: int, ts2: int,
+        tc: int | None = None) -> Instr:
+    """Indirect store: ``base[TS1[i]] = TS2[i]``."""
+    return Instr(Opcode.IST, dtype=dtype, base=base, ts1=ts1, ts2=ts2, tc=tc)
+
+
+def irmw(dtype: DType, base: int, op: AluOp, ts1: int, ts2: int,
+         tc: int | None = None) -> Instr:
+    """Indirect read-modify-write: ``base[TS1[i]] op= TS2[i]``."""
+    if not op.is_commutative_associative:
+        raise ValueError(
+            f"IRMW requires a commutative+associative op, got {op.value}"
+        )
+    return Instr(Opcode.IRMW, dtype=dtype, base=base, op=op,
+                 ts1=ts1, ts2=ts2, tc=tc)
+
+
+def sld(dtype: DType, base: int, td: int, rs1: int, rs2: int, rs3: int,
+        tc: int | None = None) -> Instr:
+    """Streaming load of ``base[rs1 : rs2 : rs3]`` into TD."""
+    return Instr(Opcode.SLD, dtype=dtype, base=base, td=td,
+                 rs1=rs1, rs2=rs2, rs3=rs3, tc=tc)
+
+
+def sst(dtype: DType, base: int, ts: int, rs1: int, rs2: int, rs3: int,
+        tc: int | None = None) -> Instr:
+    """Streaming store of TS into ``base[rs1 : rs2 : rs3]``."""
+    return Instr(Opcode.SST, dtype=dtype, base=base, ts1=ts,
+                 rs1=rs1, rs2=rs2, rs3=rs3, tc=tc)
+
+
+def aluv(dtype: DType, op: AluOp, td: int, ts1: int, ts2: int,
+         tc: int | None = None) -> Instr:
+    """Vector ALU: ``TD[i] = TS1[i] op TS2[i]``."""
+    return Instr(Opcode.ALUV, dtype=dtype, op=op, td=td, ts1=ts1, ts2=ts2,
+                 tc=tc)
+
+
+def alus(dtype: DType, op: AluOp, td: int, ts: int, rs: int,
+         tc: int | None = None) -> Instr:
+    """Scalar ALU: ``TD[i] = TS[i] op registers[rs]``."""
+    return Instr(Opcode.ALUS, dtype=dtype, op=op, td=td, ts1=ts, rs1=rs,
+                 tc=tc)
+
+
+def rng(td1: int, td2: int, ts1: int, ts2: int, rs1: int | None = None,
+        tc: int | None = None) -> Instr:
+    """Range fuser: concatenate [TS1[i], TS2[i]) ranges into TD2 with the
+    originating outer index in TD1."""
+    return Instr(Opcode.RNG, td=td1, td2=td2, ts1=ts1, ts2=ts2, rs1=rs1,
+                 tc=tc)

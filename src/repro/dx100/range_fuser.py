@@ -1,0 +1,84 @@
+"""The Range Fuser unit (Section 3.4, Figure 5).
+
+Indirect range loops (``j = H[K[i]] to H[K[i]+1]``) cover only a few
+iterations each — too few for bulk access.  The fuser concatenates many
+small [lo, hi) ranges into one long inner-index tile, with a parallel tile
+naming the outer iteration each inner index came from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RangeFuser:
+    """Fuses per-iteration ranges into (outer, inner) induction tiles."""
+
+    def __init__(self, rate: int = 4) -> None:
+        # Inner indices produced per cycle (timing only).
+        self.rate = rate
+
+    def fuse(self, lows: np.ndarray, highs: np.ndarray,
+             outer_ids: np.ndarray | None = None,
+             cond: np.ndarray | None = None,
+             capacity: int | None = None
+             ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (outer_tile, inner_tile).
+
+        ``outer_ids[i]`` is the value recorded for range ``i`` (defaults to
+        ``i`` itself); ``cond`` masks ranges out entirely.  Raises if the
+        fused output exceeds ``capacity`` — callers chunk their input with
+        :func:`plan_range_chunks`.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        if lows.shape != highs.shape:
+            raise ValueError("low/high tiles differ in length")
+        if outer_ids is None:
+            outer_ids = np.arange(len(lows), dtype=np.int64)
+        else:
+            outer_ids = np.asarray(outer_ids, dtype=np.int64)
+        if cond is not None:
+            keep = np.asarray(cond) != 0
+            lows, highs, outer_ids = lows[keep], highs[keep], outer_ids[keep]
+        counts = np.maximum(highs - lows, 0)
+        total = int(counts.sum())
+        if capacity is not None and total > capacity:
+            raise ValueError(
+                f"fused range of {total} exceeds tile capacity {capacity}"
+            )
+        outer = np.repeat(outer_ids, counts)
+        # Inner indices: for each range, lo .. hi-1.
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        inner = np.arange(total, dtype=np.int64)
+        inner += np.repeat(lows - starts, counts)
+        return outer, inner
+
+    def cycles(self, produced: int) -> int:
+        return -(-produced // self.rate)
+
+
+def plan_range_chunks(lows, highs, capacity: int) -> list[tuple[int, int]]:
+    """Split range-list index space into [start, end) chunks whose fused
+    output each fits in ``capacity`` inner elements."""
+    lows = np.asarray(lows, dtype=np.int64)
+    highs = np.asarray(highs, dtype=np.int64)
+    counts = np.maximum(highs - lows, 0)
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    acc = 0
+    for i, c in enumerate(counts):
+        c = int(c)
+        if c > capacity:
+            raise ValueError(
+                f"single range of {c} exceeds tile capacity {capacity}"
+            )
+        if acc + c > capacity:
+            chunks.append((start, i))
+            start = i
+            acc = 0
+        acc += c
+    if start < len(counts) or not chunks:
+        chunks.append((start, len(counts)))
+    return chunks

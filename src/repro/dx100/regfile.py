@@ -1,0 +1,32 @@
+"""The DX100 scalar register file (32 registers, Section 3.5).
+
+Registers hold loop bounds, strides, and ALU scalar operands; cores write
+them through the memory-mapped register region before issuing instructions.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DX100Config
+
+
+class RegisterFile:
+    """32 scalar registers holding Python ints/floats."""
+
+    def __init__(self, config: DX100Config | None = None) -> None:
+        self.size = (config or DX100Config()).num_registers
+        self._regs: list[float | int] = [0] * self.size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register {index} out of range 0..{self.size - 1}")
+
+    def write(self, index: int, value) -> None:
+        self._check(index)
+        self._regs[index] = value
+
+    def read(self, index: int):
+        self._check(index)
+        return self._regs[index]
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,98 @@
+"""The DX100 scratchpad: tiles, sizes, and the ready-bit protocol.
+
+The scratchpad holds ``num_tiles`` tiles of up to ``tile_elems`` elements.
+Per Section 3.5 each tile carries a *size*, a *ready* bit used for
+core <-> DX100 synchronization (the ``wait`` API polls it), and per-element
+*finish* bits enabling producer/consumer overlap between functional units.
+The timing model represents the bits as cycle timestamps: ``ready_at`` is
+the cycle the ready bit is set; fine-grained overlap is negotiated through
+the producing instruction's streaming start time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.config import DX100Config
+
+SPD_BASE = 1 << 40  # memory-mapped scratchpad data region (Figure 6)
+
+
+@dataclass
+class Tile:
+    """One scratchpad tile."""
+
+    index: int
+    values: np.ndarray | None = None
+    ready_at: int = 0
+    streaming_from: int = 0      # cycle the first elements become available
+    producer: object = None      # the instruction record that last wrote it
+
+    @property
+    def size(self) -> int:
+        return 0 if self.values is None else len(self.values)
+
+
+class Scratchpad:
+    """Tile storage plus the ready-bit synchronization protocol."""
+
+    def __init__(self, config: DX100Config, word_bytes: int = 4,
+                 base: int = SPD_BASE) -> None:
+        self.config = config
+        self.word_bytes = word_bytes
+        self.base = base
+        self.tiles = [Tile(i) for i in range(config.num_tiles)]
+
+    def tile(self, index: int) -> Tile:
+        if not 0 <= index < self.config.num_tiles:
+            raise IndexError(f"tile {index} out of range")
+        return self.tiles[index]
+
+    def write(self, index: int, values: np.ndarray, ready_at: int,
+              streaming_from: int | None = None,
+              producer: object = None) -> Tile:
+        """Produce a tile: stores values and stamps its ready time."""
+        values = np.asarray(values)
+        if len(values) > self.config.tile_elems:
+            raise ValueError(
+                f"{len(values)} elements exceed tile capacity "
+                f"{self.config.tile_elems}"
+            )
+        tile = self.tile(index)
+        tile.values = values
+        tile.ready_at = ready_at
+        tile.streaming_from = (streaming_from if streaming_from is not None
+                               else ready_at)
+        tile.producer = producer
+        return tile
+
+    def read(self, index: int) -> np.ndarray:
+        tile = self.tile(index)
+        if tile.values is None:
+            raise ValueError(f"tile {index} read before any write")
+        return tile.values
+
+    def ready_at(self, index: int) -> int:
+        return self.tile(index).ready_at
+
+    # ------------------------------------------------------- address mapping
+
+    def elem_addr(self, tile: int, elem: int = 0) -> int:
+        """Memory-mapped address of a tile element, for core-side reads."""
+        return self.base + (tile * self.config.tile_elems
+                            + elem) * self.word_bytes
+
+    def region(self) -> tuple[int, int]:
+        """The [lo, hi) address window of the whole scratchpad data region."""
+        hi = self.base + (self.config.num_tiles * self.config.tile_elems
+                          * self.word_bytes)
+        return self.base, hi
+
+    @staticmethod
+    def instance_base(instance: int, config: DX100Config,
+                      word_bytes: int = 4) -> int:
+        """Non-overlapping memory-mapped base for each DX100 instance."""
+        span = config.num_tiles * config.tile_elems * word_bytes
+        return SPD_BASE + instance * 2 * span

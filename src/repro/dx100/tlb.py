@@ -1,0 +1,71 @@
+"""The DX100 TLB (Section 3.6).
+
+With huge pages and the paper's PTE-transfer API the accelerator translates
+virtual addresses locally; the identity mapping keeps physical == virtual
+while still charging the miss penalty when an unregistered page is touched.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.common.config import DX100Config
+from repro.common.stats import Stats
+from repro.dx100.hostmem import PAGE
+
+
+class TLB:
+    """256-entry fully associative TLB over 2 MiB pages, LRU replacement."""
+
+    def __init__(self, config: DX100Config | None = None,
+                 stats: Stats | None = None) -> None:
+        cfg = config or DX100Config()
+        self.entries = cfg.tlb_entries
+        self.miss_penalty = cfg.tlb_miss_penalty
+        self.stats = stats if stats is not None else Stats()
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def preload(self, lo: int, hi: int) -> int:
+        """The PTE-transfer API: install all pages of [lo, hi); returns the
+        number of pages installed."""
+        count = 0
+        for page in range(lo // PAGE, -(-hi // PAGE)):
+            self._install(page)
+            count += 1
+        return count
+
+    def _install(self, page: int) -> None:
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+
+    def translate(self, addr: int) -> tuple[int, int]:
+        """Returns (physical_addr, penalty_cycles); identity mapping."""
+        page = addr // PAGE
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.stats.add("tlb_hits")
+            return addr, 0
+        self.stats.add("tlb_misses")
+        self._install(page)
+        return addr, self.miss_penalty
+
+    def translate_tile(self, addrs: np.ndarray) -> int:
+        """Vectorized translation of a whole tile of addresses; returns the
+        total penalty (identity mapping leaves the addresses unchanged)."""
+        pages = np.unique(np.asarray(addrs, dtype=np.int64) // PAGE)
+        penalty = 0
+        for page in pages.tolist():
+            if page in self._pages:
+                self._pages.move_to_end(page)
+                self.stats.add("tlb_hits")
+            else:
+                self.stats.add("tlb_misses")
+                self._install(page)
+                penalty += self.miss_penalty
+        return penalty

@@ -1,0 +1,55 @@
+"""The Indirect Access unit's Word Table (Figure 4c).
+
+For each tile iteration the table stores the word offset within its cache
+line and a link to the *previous* iteration that touched the same line,
+forming a per-line linked list.  The response stage walks the list from the
+Row Table's tail pointer to find every tile element served by one returning
+cache line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WordTable:
+    """Linked word records, indexed by tile iteration number."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._valid = np.zeros(capacity, dtype=bool)
+        self._offset = np.zeros(capacity, dtype=np.int32)
+        self._prev = np.full(capacity, -1, dtype=np.int64)
+
+    def insert(self, iteration: int, word_offset: int,
+               prev_iteration: int | None) -> None:
+        if not 0 <= iteration < self.capacity:
+            raise IndexError(f"iteration {iteration} out of range")
+        if self._valid[iteration]:
+            raise ValueError(f"iteration {iteration} already inserted")
+        self._valid[iteration] = True
+        self._offset[iteration] = word_offset
+        self._prev[iteration] = -1 if prev_iteration is None else prev_iteration
+
+    def traverse(self, tail_iteration: int) -> list[tuple[int, int]]:
+        """Walk the linked list from its tail; returns (iteration, offset)
+        pairs in *insertion* order (oldest first)."""
+        chain: list[tuple[int, int]] = []
+        i = tail_iteration
+        while i >= 0:
+            if not self._valid[i]:
+                raise ValueError(f"broken chain at iteration {i}")
+            chain.append((i, int(self._offset[i])))
+            i = int(self._prev[i])
+        chain.reverse()
+        return chain
+
+    def clear(self) -> None:
+        self._valid[:] = False
+        self._prev[:] = -1
+
+    @property
+    def count(self) -> int:
+        return int(self._valid.sum())

@@ -1,0 +1,5 @@
+"""Indirect-prefetcher baseline (DMP, Fu et al. HPCA 2024)."""
+
+from repro.prefetch.dmp import DMPEngine
+
+__all__ = ["DMPEngine"]

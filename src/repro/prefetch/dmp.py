@@ -1,0 +1,89 @@
+"""Behavioural model of DMP, the differential-matching indirect prefetcher
+(Fu et al., HPCA 2024) the paper compares against in Figure 12.
+
+The real DMP watches the core's load stream, differentially matches index
+loads (B[i]) against dependent loads (A[B[i]]) to recover base and scale,
+then prefetches A[B[i+d]].  At trace granularity we model the *behavioural
+consequences* the comparison rests on:
+
+* prefetches target the unconditional future index stream — for kernels
+  with conditional accesses (Table 1), untaken iterations are prefetched
+  anyway, polluting the cache and spending DRAM bandwidth (Section 6.3);
+* coverage is bounded (training misses, page boundaries, late prefetches):
+  only ``coverage`` of candidates are issued and timely;
+* prefetched lines land in L2/LLC in request order: DMP raises the memory
+  access *rate* but leaves request ordering to the memory controller, so
+  the row-buffer hit rate stays baseline-like;
+* the core's instruction footprint is unchanged.
+
+Workloads register the per-PC unconditional target-address stream (exactly
+the information DMP recovers from the B-stream at runtime), and each demand
+op carries its loop-iteration ``tag``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.stats import Stats
+from repro.cache.hierarchy import MemoryHierarchy
+
+
+class DMPEngine:
+    """Indirect prefetch engine attached to the cache hierarchy."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, distance: int = 64,
+                 degree: int = 2, coverage: float = 0.7,
+                 train_iters: int = 16) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+        self.hierarchy = hierarchy
+        self.distance = distance
+        self.degree = degree
+        self.coverage = coverage
+        self.train_iters = train_iters
+        self.stats = Stats()
+        self._streams: dict[int, np.ndarray] = {}
+        self._issued: dict[int, set[int]] = {}
+        self._stride = max(1, round(1.0 / coverage)) if coverage > 0 else 0
+
+    def register_stream(self, pc: int, target_addrs) -> None:
+        """Declare the unconditional indirect target stream for a load PC."""
+        self._streams[pc] = np.asarray(target_addrs, dtype=np.int64)
+        self._issued[pc] = set()
+
+    def observe(self, core: int, addr: int, pc: int, tag: int,
+                t: int) -> None:
+        """Called on every demand access; issues lookahead prefetches."""
+        stream = self._streams.get(pc)
+        if stream is None or tag < 0:
+            return
+        if tag < self.train_iters:
+            return  # differential matching still training
+        if self._stride == 0:
+            return
+        start = tag + self.distance
+        for k in range(self.degree):
+            it = start + k
+            if it >= len(stream):
+                continue
+            # Deterministic coverage striping instead of RNG.
+            if (it % self._stride) and self.coverage < 1.0:
+                self.stats.add("dmp_dropped")
+                continue
+            line = int(stream[it]) & ~63
+            if it in self._issued[pc]:
+                continue
+            self._issued[pc].add(it)
+            self.stats.add("dmp_prefetches")
+            self.hierarchy.prefetch_into(core, line, t)
+
+    def accuracy_against(self, taken_tags: dict[int, set[int]]) -> float:
+        """Fraction of issued prefetches whose iteration was actually taken
+        (diagnostic for the conditional-access pollution effect)."""
+        issued = useful = 0
+        for pc, its in self._issued.items():
+            taken = taken_tags.get(pc, set())
+            issued += len(its)
+            useful += len(its & taken)
+        return useful / issued if issued else 1.0

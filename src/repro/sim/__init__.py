@@ -1,0 +1,32 @@
+"""Simulation harness: system assembly, runners, metric collection."""
+
+from repro.sim.corun import CorunResult, NamespacedMemory, run_corun
+from repro.sim.metrics import RunResult, collect
+from repro.sim.report import bar_chart, comparison_table, to_csv
+from repro.sim.runner import (
+    compare, run_baseline, run_dmp, run_dx100, software_pipeline,
+)
+from repro.sim.scale import run_dx100_multi
+from repro.sim.statsdump import dump_stats, format_stats, write_stats
+from repro.sim.system import SimSystem
+
+__all__ = [
+    "CorunResult",
+    "NamespacedMemory",
+    "RunResult",
+    "SimSystem",
+    "bar_chart",
+    "collect",
+    "compare",
+    "comparison_table",
+    "dump_stats",
+    "format_stats",
+    "run_baseline",
+    "run_corun",
+    "run_dmp",
+    "run_dx100",
+    "run_dx100_multi",
+    "software_pipeline",
+    "to_csv",
+    "write_stats",
+]

@@ -1,0 +1,56 @@
+"""Per-run metric extraction — the quantities the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.system import SimSystem
+
+
+@dataclass
+class RunResult:
+    """All figure-level metrics for one workload under one configuration."""
+
+    workload: str
+    config: str
+    cycles: int
+    instructions: float
+    bandwidth_utilization: float     # Fig. 10(a)
+    row_buffer_hit_rate: float       # Fig. 10(b)
+    request_buffer_occupancy: float  # Fig. 10(c)
+    llc_mpki: float                  # Fig. 11(b)
+    dram_bytes: float
+    dram_requests: float
+    extra: dict = field(default_factory=dict)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        if self.cycles <= 0:
+            raise ValueError("run has no cycles")
+        return other.cycles / self.cycles
+
+
+def collect(system: SimSystem, workload: str, config_name: str,
+            cycles: int, instructions: float,
+            extra: dict | None = None) -> RunResult:
+    """Harvest metrics from a finished system."""
+    system.dram.drain()
+    # The run is not over until fire-and-forget write traffic lands.
+    cycles = max(int(cycles), system.dram.last_finish())
+    dram_stats = system.dram.merged_stats()
+    hier_stats = system.hierarchy.stats
+    kilo = max(instructions, 1.0) / 1000.0
+    # Scratchpad-backed fills are DX100 traffic, not core cache misses.
+    misses = hier_stats.get("llc_misses") - hier_stats.get("spd_fills")
+    return RunResult(
+        workload=workload,
+        config=config_name,
+        cycles=int(cycles),
+        instructions=instructions,
+        bandwidth_utilization=system.dram.bandwidth_utilization(cycles),
+        row_buffer_hit_rate=system.dram.row_buffer_hit_rate(),
+        request_buffer_occupancy=system.dram.mean_occupancy(),
+        llc_mpki=misses / kilo,
+        dram_bytes=dram_stats.get("bytes"),
+        dram_requests=dram_stats.get("requests"),
+        extra=extra or {},
+    )

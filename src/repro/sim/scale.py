@@ -1,0 +1,113 @@
+"""Multi-instance DX100 scalability runs (Section 6.6, Figure 14).
+
+Implements the paper's *core multiplexing* approach: each group of cores
+owns one DX100 instance; instances share the memory system, and exclusive
+write access to indirect arrays is maintained through the coarse-grained
+region coherence protocol (SWMR).  The workload's tile chunks are dealt
+round-robin across instances, so instances execute concurrently on
+independent timelines.
+
+Restricted to order-independent (RMW/load) workloads: chunks on different
+instances complete out of program order, which is only legal when the
+paper's reordering legality condition (commutative, associative updates)
+holds — exactly the instructions DX100 permits.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.common.types import Interval
+from repro.dx100.accelerator import DX100
+from repro.dx100.api import RegWrite, WaitTiles
+from repro.dx100.coherency import RegionCoherence
+from repro.dx100.isa import Instr, Opcode
+from repro.sim.metrics import RunResult, collect
+from repro.sim.runner import ISSUE_INSTRS, WAIT_BASE_INSTRS
+from repro.sim.system import SimSystem
+from repro.workloads.base import CoreWork, Workload
+
+
+def _split_groups(schedule: list) -> list[list]:
+    """Split a schedule into chunk groups at WaitTiles(+CoreWork) edges."""
+    groups: list[list] = []
+    current: list = []
+    for item in schedule:
+        current.append(item)
+        if isinstance(item, (WaitTiles, CoreWork)) and current:
+            groups.append(current)
+            current = []
+    if current:
+        groups.append(current)
+    return groups
+
+
+def run_dx100_multi(workload: Workload, cores: int = 8,
+                    instances: int = 2, tile_elems: int = 16 * 1024,
+                    validate: bool = True) -> RunResult:
+    """Run a workload across multiple DX100 instances."""
+    config = SystemConfig.dx100_scaled(cores, tile_elems=tile_elems,
+                                       instances=instances)
+    system = SimSystem(config)
+    accels = [system.dx100] + [
+        DX100(config, system.hierarchy, system.dram, system.hostmem,
+              instance=i)
+        for i in range(1, instances)
+    ]
+    workload.generate(system.hostmem)
+    regions = RegionCoherence()
+    for name in system.hostmem._segments:
+        regions.register(Interval(*_segment_span(system.hostmem, name)))
+    for dx in accels:
+        dx.preload_pages(system.hostmem.base,
+                         system.hostmem.base + system.hostmem.size)
+
+    schedule = workload.dx100_schedule(config.dx100, cores)
+    groups = _split_groups(schedule)
+    times = [0] * instances
+    issue_instrs = 0.0
+    for g, group in enumerate(groups):
+        # Block (OpenMP-static) assignment: contiguous chunk ranges per
+        # instance, so write ownership of each array transfers once rather
+        # than ping-ponging every chunk.
+        k = min(g * instances // max(len(groups), 1), instances - 1)
+        dx = accels[k]
+        t = times[k]
+        for item in group:
+            if isinstance(item, RegWrite):
+                dx.write_register(item.reg, item.value)
+                t += 1
+                issue_instrs += 1
+            elif isinstance(item, Instr):
+                if item.base is not None and item.opcode in (
+                        Opcode.IST, Opcode.IRMW, Opcode.SST):
+                    # SWMR: acquire write ownership of the target region.
+                    t = regions.acquire(item.base, k, write=True, t=t)
+                dx.dispatch(item, t)
+                t += ISSUE_INSTRS
+                issue_instrs += ISSUE_INSTRS
+            elif isinstance(item, WaitTiles):
+                t = dx.wait(item.tiles, t)
+                issue_instrs += WAIT_BASE_INSTRS
+            elif isinstance(item, CoreWork):
+                # Residual core work synchronizes with this instance only.
+                t = system.multicore.run(item.traces, at=t)
+            else:
+                raise TypeError(f"unknown schedule item {item!r}")
+        times[k] = t
+    finish = max(times)
+    for dx in accels:
+        if dx.records:
+            finish = max(finish, max(r.finish for r in dx.records))
+    if validate:
+        workload.validate(system.hostmem)
+    instructions = issue_instrs + system.multicore.total_instructions() \
+        + workload.non_roi_instructions()
+    extra = {"instances": instances,
+             "ownership_transfers": regions.stats.get("ownership_transfers")}
+    return collect(system, workload.name, f"dx100x{instances}", finish,
+                   instructions, extra)
+
+
+def _segment_span(hostmem, name: str) -> tuple[int, int]:
+    iv = hostmem.interval_of(name)
+    return iv.lo, iv.hi

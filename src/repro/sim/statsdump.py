@@ -1,0 +1,55 @@
+"""Full component-statistics dump (gem5's ``stats.txt`` analogue).
+
+Collects every counter from every component of a :class:`SimSystem` into a
+flat, namespaced mapping — the raw material for debugging a run or for
+metrics the packaged :class:`RunResult` does not surface.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sim.system import SimSystem
+
+
+def dump_stats(system: SimSystem) -> dict[str, float]:
+    """Flatten all component stats into ``component.counter`` keys."""
+    out: dict[str, float] = {}
+
+    def put(prefix: str, stats) -> None:
+        for name, value in stats.counters.items():
+            out[f"{prefix}.{name}"] = float(value)
+        for name in stats._wweight:
+            out[f"{prefix}.{name}.mean"] = stats.mean(name)
+
+    for ctrl in system.dram.controllers:
+        put(f"dram.ch{ctrl.channel}", ctrl.stats)
+    out["dram.row_buffer_hit_rate"] = system.dram.row_buffer_hit_rate()
+    out["dram.mean_occupancy"] = system.dram.mean_occupancy()
+    out["dram.total_bytes"] = system.dram.total_bytes()
+
+    put("cache", system.hierarchy.stats)
+    for i, core in enumerate(system.multicore.cores):
+        put(f"core{i}", core.stats)
+    if system.dx100 is not None:
+        put("dx100", system.dx100.stats)
+        out["dx100.tlb_entries_live"] = float(
+            len(system.dx100.tlb._pages))
+        out["dx100.spd_tracked_lines"] = float(
+            system.dx100.coherency.tracked_lines)
+    if system.dmp is not None:
+        put("dmp", system.dmp.stats)
+    return out
+
+
+def format_stats(stats: dict[str, float]) -> str:
+    """gem5-style two-column text dump, sorted by key."""
+    width = max((len(k) for k in stats), default=0)
+    lines = [f"{k:<{width}s}  {v:g}" for k, v in sorted(stats.items())]
+    return "\n".join(lines)
+
+
+def write_stats(system: SimSystem, path: str | Path) -> dict[str, float]:
+    stats = dump_stats(system)
+    Path(path).write_text(format_stats(stats) + "\n")
+    return stats

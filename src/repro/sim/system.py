@@ -1,0 +1,40 @@
+"""Assembles a full simulated system from a :class:`SystemConfig`."""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.multicore import Multicore
+from repro.dram.system import DRAMSystem
+from repro.dx100.accelerator import DX100
+from repro.dx100.hostmem import HostMemory
+from repro.prefetch.dmp import DMPEngine
+
+
+class SimSystem:
+    """DRAM + caches + cores (+ DX100 / + DMP) behind one object."""
+
+    def __init__(self, config: SystemConfig,
+                 mem_bytes: int = 1 << 26) -> None:
+        self.config = config
+        self.dram = DRAMSystem(config.dram)
+        self.hierarchy = MemoryHierarchy(config, self.dram)
+        self.hostmem = HostMemory(mem_bytes)
+        self.multicore = Multicore(config, self.hierarchy, self.dram)
+        self.dx100 = (DX100(config, self.hierarchy, self.dram, self.hostmem)
+                      if config.dx100 is not None else None)
+        self.dmp = None
+        if config.dmp:
+            self.dmp = DMPEngine(self.hierarchy)
+            self.hierarchy.observers.append(
+                lambda core, addr, pc, tag, t:
+                self.dmp.observe(core, addr, pc, tag, t))
+
+    def warm(self, lines) -> None:
+        """Pre-load lines into every cache level (the all-hit scenario)."""
+        for addr in lines:
+            line = self.hierarchy.llc.line_addr(addr)
+            self.hierarchy.llc.insert(line)
+            for core in range(self.config.cores):
+                self.hierarchy.l2[core].insert(line)
+                self.hierarchy.l1[core].insert(line)

@@ -1,0 +1,195 @@
+"""Hash-Join benchmark suite: parallel radix join partitioning.
+
+PRH (histogram-based, Kim et al.): a histogram pass
+(``hist[f(C[i])] += 1``) followed by a tuple scatter through partition
+offsets (``A[B[f(C[i])]] = C[i]``), with the radix function
+``f(C[i]) = (C[i] & F) >> G`` computed by the ALU unit (Table 1).
+
+PRO (bucket-chaining, Manegold et al.): array-based linked lists — probes
+walk ``payload[head[f(k)]]`` then ``payload[next[...]]``, the bulk
+linked-list traversal the paper highlights (Section 4.1 Limitations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import DX100Config
+from repro.common.types import AluOp, DType
+from repro.core.trace import Trace, TraceBuilder, split_static
+from repro.dx100.api import ProgramBuilder
+from repro.dx100.hostmem import HostMemory
+from repro.workloads.base import (
+    BASE_ADDR_CALC, PC_EXTRA, PC_INDEX, PC_INDIRECT, PC_OUTPUT, PC_VALUE,
+    Workload, chunk_bounds,
+)
+
+RADIX_SHIFT = 9
+
+
+class RadixJoinHistogram(Workload):
+    """PRH: histogram + scatter through partition offsets."""
+
+    name = "PRH"
+    suite = "Hash-Join"
+    pattern = "ST A[B[f(C[i])]], f(C[i]) = (C[i] & F) >> G, i = F to G"
+
+    def __init__(self, scale: int = 1 << 16, seed: int = 0,
+                 partitions: int = 1 << 13,
+                 table_space: int = 1 << 20) -> None:
+        super().__init__(scale, seed)
+        self.partitions = partitions
+        self.table_space = table_space
+        self.mask = (partitions - 1) << RADIX_SHIFT
+
+    def _radix(self, keys: np.ndarray) -> np.ndarray:
+        return (keys & self.mask) >> RADIX_SHIFT
+
+    def generate(self, mem: HostMemory) -> None:
+        self._remember(mem)
+        self.tuples = self.rng.integers(
+            0, 1 << 30, self.scale).astype(np.int64)
+        self.radix = self._radix(self.tuples)
+        # Partition base offsets scattered over the output table.
+        self.offsets = (self.rng.permutation(self.partitions).astype(np.int64)
+                        * (self.table_space // self.partitions))
+        self.c_base = mem.place("C", self.tuples)
+        self.hist_base = mem.place(
+            "hist", np.zeros(self.partitions, dtype=np.int64))
+        self.b_base = mem.place("B", self.offsets)
+        self.a_base = mem.place(
+            "A", np.zeros(self.table_space, dtype=np.int64))
+        self.ones_base = mem.place(
+            "ones", np.ones(self.scale, dtype=np.int64))
+
+    def baseline_traces(self, cores: int) -> list[Trace]:
+        traces = []
+        for part in split_static(list(range(self.scale)), cores):
+            tb = TraceBuilder()
+            for i in part:
+                # Histogram pass.
+                key = tb.load(self.c_base + 8 * i, pc=PC_INDEX, extra=3)
+                tb.rmw(self.hist_base + 8 * int(self.radix[i]), deps=(key,),
+                       atomic=True, pc=PC_VALUE, extra=3, tag=i)
+            for i in part:
+                # Scatter pass.
+                key = tb.load(self.c_base + 8 * i, pc=PC_INDEX, extra=3,
+                              tag=i)
+                off = tb.load(self.b_base + 8 * int(self.radix[i]),
+                              deps=(key,), pc=PC_EXTRA, extra=2, tag=i)
+                tb.store(self.a_base + 8 * int(self.offsets[self.radix[i]]),
+                         deps=(off,), pc=PC_INDIRECT,
+                         extra=BASE_ADDR_CALC - 4, tag=i)
+            traces.append(tb.finish())
+        return traces
+
+    def dx100_schedule(self, config: DX100Config, cores: int) -> list:
+        items: list = []
+        for lo, hi in chunk_bounds(self.scale, config.tile_elems):
+            pb = ProgramBuilder(config)
+            t_c = pb.sld(DType.I64, self.c_base, lo, hi)
+            t_and = pb.alus(DType.I64, AluOp.AND, t_c, self.mask)
+            t_f = pb.alus(DType.I64, AluOp.SHR, t_and, RADIX_SHIFT)
+            t_one = pb.sld(DType.I64, self.ones_base, lo, hi)
+            pb.irmw(DType.I64, self.hist_base, AluOp.ADD, t_f, t_one)
+            t_b = pb.ild(DType.I64, self.b_base, t_f)
+            pb.ist(DType.I64, self.a_base, t_b, t_c)
+            pb.wait(t_c)
+            items += pb.build()
+        return items
+
+    def expected(self) -> dict[str, np.ndarray]:
+        hist = np.bincount(self.radix, minlength=self.partitions)
+        table = np.zeros(self.table_space, dtype=np.int64)
+        table[self.offsets[self.radix]] = self.tuples  # last writer wins
+        return {"hist": hist.astype(np.int64), "A": table}
+
+    def dmp_streams(self) -> dict[int, np.ndarray]:
+        return {PC_INDIRECT:
+                self.a_base + 8 * self.offsets[self.radix]}
+
+
+class RadixJoinChaining(Workload):
+    """PRO: probe phase over array-based bucket chains (2 hops)."""
+
+    name = "PRO"
+    suite = "Hash-Join"
+    pattern = "ST A[B[f(C[i])]] (bucket chaining: nodes[next_idx[i]])"
+
+    def __init__(self, scale: int = 1 << 16, seed: int = 0,
+                 buckets: int = 1 << 15) -> None:
+        super().__init__(scale, seed)
+        self.buckets = buckets
+        self.mask = (buckets - 1) << RADIX_SHIFT
+
+    def _radix(self, keys: np.ndarray) -> np.ndarray:
+        return (keys & self.mask) >> RADIX_SHIFT
+
+    def generate(self, mem: HostMemory) -> None:
+        self._remember(mem)
+        n_build = 2 * self.buckets  # exactly two tuples per bucket
+        order = self.rng.permutation(n_build).astype(np.int64)
+        self.head = order[:self.buckets].copy()
+        self.next = np.full(n_build, -1, dtype=np.int64)
+        self.next[self.head] = order[self.buckets:]
+        self.payload = self.rng.integers(
+            0, 1 << 20, n_build).astype(np.int64)
+        self.probes = self.rng.integers(
+            0, 1 << 30, self.scale).astype(np.int64)
+        self.probe_radix = self._radix(self.probes)
+
+        self.head_base = mem.place("head", self.head)
+        self.next_base = mem.place("next", self.next)
+        self.pay_base = mem.place("payload", self.payload)
+        self.probe_base = mem.place("probes", self.probes)
+        self.res_base = mem.alloc("result", self.scale, DType.I64)
+
+    def baseline_traces(self, cores: int) -> list[Trace]:
+        traces = []
+        for part in split_static(list(range(self.scale)), cores):
+            tb = TraceBuilder()
+            for i in part:
+                h = int(self.probe_radix[i])
+                n0 = int(self.head[h])
+                n1 = int(self.next[n0])
+                key = tb.load(self.probe_base + 8 * i, pc=PC_INDEX, extra=3,
+                              tag=i)
+                e0 = tb.load(self.head_base + 8 * h, deps=(key,),
+                             pc=PC_INDIRECT, extra=3, tag=i)
+                p0 = tb.load(self.pay_base + 8 * n0, deps=(e0,),
+                             pc=PC_VALUE, extra=2, tag=i)
+                e1 = tb.load(self.next_base + 8 * n0, deps=(e0,),
+                             pc=PC_EXTRA, extra=2, tag=i)
+                p1 = tb.load(self.pay_base + 8 * n1, deps=(e1,),
+                             pc=PC_VALUE, extra=2, tag=i)
+                tb.store(self.res_base + 8 * i, deps=(p0, p1),
+                         pc=PC_OUTPUT, extra=3)
+            traces.append(tb.finish())
+        return traces
+
+    def dx100_schedule(self, config: DX100Config, cores: int) -> list:
+        items: list = []
+        for lo, hi in chunk_bounds(self.scale, config.tile_elems):
+            pb = ProgramBuilder(config)
+            t_p = pb.sld(DType.I64, self.probe_base, lo, hi)
+            t_and = pb.alus(DType.I64, AluOp.AND, t_p, self.mask)
+            t_h = pb.alus(DType.I64, AluOp.SHR, t_and, RADIX_SHIFT)
+            t_n0 = pb.ild(DType.I64, self.head_base, t_h)
+            t_p0 = pb.ild(DType.I64, self.pay_base, t_n0)
+            t_n1 = pb.ild(DType.I64, self.next_base, t_n0)
+            t_p1 = pb.ild(DType.I64, self.pay_base, t_n1)
+            t_sum = pb.aluv(DType.I64, AluOp.ADD, t_p0, t_p1)
+            pb.sst(DType.I64, self.res_base, t_sum, lo, hi)
+            pb.wait(t_sum)
+            items += pb.build()
+        return items
+
+    def expected(self) -> dict[str, np.ndarray]:
+        n0 = self.head[self.probe_radix]
+        n1 = self.next[n0]
+        return {"result": self.payload[n0] + self.payload[n1]}
+
+    def dmp_streams(self) -> dict[int, np.ndarray]:
+        return {PC_INDIRECT:
+                self.head_base + 8 * self.probe_radix}
+

@@ -1,0 +1,257 @@
+"""UME proxy (LANL unstructured-mesh gradient kernels).
+
+Four kernels over a synthetic unstructured mesh of Z zones and P points.
+The zone-to-zone and zone-to-point maps have the limited spatial locality
+the paper measures on the real 2M-zone dataset (average index distance
+about Z/24), reproduced here with Laplacian-distributed offsets:
+
+* GZZ  — ``RMW A[B[i]]  if D[i] >= F``  (zone-to-zone accumulate)
+* GZZI — ``LD A[B[C[j]]] if D[j] >= F`` over ``j = H[K[i]] .. H[K[i]+1]``
+* GZP  — ``RMW A[B[i]]  if D[i] >= F``  (zone-to-point accumulate)
+* GZPI — ``LD A[B[C[j]]] if D[j] >= F`` over ``j = H[K[i]] .. H[K[i]+1]``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import DX100Config
+from repro.common.types import AluOp, DType
+from repro.core.trace import Trace, TraceBuilder, split_static
+from repro.dx100.api import ProgramBuilder
+from repro.dx100.hostmem import HostMemory
+from repro.dx100.isa import Instr
+from repro.dx100.range_fuser import plan_range_chunks
+from repro.workloads.base import (
+    BASE_ADDR_CALC, PC_EXTRA, PC_INDEX, PC_INDIRECT, PC_SPD, PC_VALUE,
+    CoreWork, Workload, chunk_bounds,
+)
+
+THRESHOLD = 50
+
+
+def laplace_map(n: int, target: int, spread: int, rng) -> np.ndarray:
+    """An index map with the paper's limited-locality distribution."""
+    offsets = rng.laplace(0.0, spread, n).astype(np.int64)
+    return np.clip(np.arange(n, dtype=np.int64) * target // n + offsets,
+                   0, target - 1)
+
+
+class _GradientRMW(Workload):
+    """Shared machinery for GZZ / GZP: conditional indirect accumulate."""
+
+    suite = "UME"
+    pattern = "RMW A[B[i]] if (D[i] >= F), i = F to G"
+    target_divisor = 1   # GZP maps zones onto a smaller point space
+
+    def generate(self, mem: HostMemory) -> None:
+        self._remember(mem)
+        z = self.scale
+        target = max(z // self.target_divisor, 1024)
+        self.target = target
+        self.b = laplace_map(z, target, target // 24, self.rng)
+        self.d = self.rng.integers(0, 100, z).astype(np.int64)
+        self.c = self.rng.integers(1, 1000, z).astype(np.int64)
+        self.b_base = mem.place("B", self.b)
+        self.d_base = mem.place("D", self.d)
+        self.c_base = mem.place("C", self.c)
+        self.a_base = mem.place("A", np.zeros(target, dtype=np.int64))
+        # Zone coordinate data read by the gradient computation itself.
+        self.gx_base = mem.alloc("gx", z, DType.I64)
+
+    def baseline_traces(self, cores: int) -> list[Trace]:
+        traces = []
+        for part in split_static(list(range(self.scale)), cores):
+            tb = TraceBuilder()
+            for i in part:
+                d = tb.load(self.d_base + 8 * i, pc=PC_EXTRA, extra=3)
+                # Gradient contribution computed on the core either way.
+                tb.load(self.gx_base + 8 * i, pc=PC_VALUE, extra=6)
+                if self.d[i] >= THRESHOLD:
+                    # The guard is a predicted branch: no data dependence.
+                    idx = tb.load(self.b_base + 8 * i,
+                                  pc=PC_INDEX, extra=1, tag=i)
+                    tb.load(self.c_base + 8 * i, pc=PC_VALUE, extra=1)
+                    tb.rmw(self.a_base + 8 * int(self.b[i]), deps=(idx,),
+                           atomic=True, pc=PC_INDIRECT,
+                           extra=BASE_ADDR_CALC - 2, tag=i)
+                else:
+                    tb.compute(2)
+            traces.append(tb.finish())
+        return traces
+
+    def dx100_schedule(self, config: DX100Config, cores: int) -> list:
+        items: list = []
+        for lo, hi in chunk_bounds(self.scale, config.tile_elems):
+            pb = ProgramBuilder(config)
+            t_d = pb.sld(DType.I64, self.d_base, lo, hi)
+            t_cond = pb.alus(DType.I64, AluOp.GE, t_d, THRESHOLD)
+            t_b = pb.sld(DType.I64, self.b_base, lo, hi)
+            t_c = pb.sld(DType.I64, self.c_base, lo, hi)
+            pb.irmw(DType.I64, self.a_base, AluOp.ADD, t_b, t_c, tc=t_cond)
+            pb.wait(t_b, t_c)
+            items += pb.build()
+            # Residual: cores compute the next tile's contributions
+            # (coordinate load + gradient arithmetic + store of C).
+            traces = []
+            for part in split_static(list(range(lo, hi)), cores):
+                tb = TraceBuilder()
+                for i in part:
+                    tb.load(self.gx_base + 8 * i, pc=PC_VALUE, extra=6)
+                    tb.store(self.c_base + 8 * i, pc=PC_INDEX, extra=1)
+                traces.append(tb.finish())
+            items.append(CoreWork(traces=traces))
+        return items
+
+    def expected(self) -> dict[str, np.ndarray]:
+        out = np.zeros(self.target, dtype=np.int64)
+        taken = self.d >= THRESHOLD
+        np.add.at(out, self.b[taken], self.c[taken])
+        return {"A": out}
+
+    def dmp_streams(self) -> dict[int, np.ndarray]:
+        return {PC_INDIRECT: self.a_base + 8 * self.b}
+
+
+class GZZ(_GradientRMW):
+    name = "GZZ"
+    target_divisor = 1
+
+
+class GZP(_GradientRMW):
+    name = "GZP"
+    pattern = "RMW A[B[i]] if (D[i] >= F), i = F to G (zone-to-point)"
+    target_divisor = 4
+
+
+class _GradientIndirectLD(Workload):
+    """Shared machinery for GZZI / GZPI: two-level conditional gather over
+    indirect range loops."""
+
+    suite = "UME"
+    pattern = "LD A[B[C[j]]] if (D[j] >= F), j = H[K[i]] to H[K[i]+1]"
+    target_divisor = 1
+
+    def __init__(self, scale: int = 1 << 12, seed: int = 0,
+                 zones: int = 1 << 17, corners: int = 6) -> None:
+        super().__init__(scale, seed)
+        self.zones = zones
+        self.corners = corners
+
+    def generate(self, mem: HostMemory) -> None:
+        self._remember(mem)
+        z = self.zones
+        degrees = self.rng.integers(self.corners - 2, self.corners + 3, z)
+        self.h = np.zeros(z + 1, dtype=np.int64)
+        self.h[1:] = np.cumsum(degrees)
+        total = int(self.h[-1])
+        target = max(z // self.target_divisor, 1024)
+        self.target = target
+        self.c = self.rng.integers(0, z, total).astype(np.int64)
+        self.b = laplace_map(z, target, target // 24, self.rng)
+        self.d = self.rng.integers(0, 100, total).astype(np.int64)
+        self.a = self.rng.integers(0, 1 << 20, target).astype(np.int64)
+        self.frontier = np.sort(self.rng.choice(
+            z, size=self.scale, replace=False)).astype(np.int64)
+
+        self.h_base = mem.place("H", self.h)
+        self.c_base = mem.place("C", self.c)
+        self.b_base = mem.place("B", self.b)
+        self.d_base = mem.place("D", self.d)
+        self.a_base = mem.place("A", self.a)
+        self.k_base = mem.place("K", self.frontier)
+
+    def non_roi_instructions(self) -> float:
+        # The gradient loop iterates zone corners (~`corners` per zone).
+        return 4.0 * self.scale * self.corners
+
+    def baseline_traces(self, cores: int) -> list[Trace]:
+        traces = []
+        for part in split_static(list(range(self.scale)), cores):
+            tb = TraceBuilder()
+            for i in part:
+                u = int(self.frontier[i])
+                tb.load(self.k_base + 8 * i, pc=PC_INDEX, extra=2)
+                hk = tb.load(self.h_base + 8 * u, pc=PC_EXTRA, extra=2)
+                for j in range(int(self.h[u]), int(self.h[u + 1])):
+                    d = tb.load(self.d_base + 8 * j, deps=(hk,),
+                                pc=PC_VALUE, extra=2, tag=j)
+                    if self.d[j] >= THRESHOLD:
+                        # Speculated past the guard: no data dependence.
+                        cj = tb.load(self.c_base + 8 * j,
+                                     pc=PC_INDEX, extra=1, tag=j)
+                        bj = tb.load(self.b_base + 8 * int(self.c[j]),
+                                     deps=(cj,), pc=PC_EXTRA, extra=2,
+                                     tag=j)
+                        tb.load(self.a_base + 8 * int(self.b[self.c[j]]),
+                                deps=(bj,), pc=PC_INDIRECT,
+                                extra=BASE_ADDR_CALC - 4, tag=j)
+                    else:
+                        tb.compute(2)
+                    tb.compute(4)  # gradient arithmetic per corner
+            traces.append(tb.finish())
+        return traces
+
+    def dx100_schedule(self, config: DX100Config, cores: int) -> list:
+        items: list = []
+        lows = self.h[self.frontier]
+        highs = self.h[self.frontier + 1]
+        for f0, f1 in plan_range_chunks(lows, highs, config.tile_elems):
+            if (highs[f0:f1] - lows[f0:f1]).sum() == 0:
+                continue
+            pb = ProgramBuilder(config)
+            t_k = pb.sld(DType.I64, self.k_base, f0, f1)
+            t_hlo = pb.ild(DType.I64, self.h_base, t_k)
+            t_k1 = pb.alus(DType.I64, AluOp.ADD, t_k, 1)
+            t_hhi = pb.ild(DType.I64, self.h_base, t_k1)
+            t_outer, t_inner = pb.rng(t_hlo, t_hhi, outer_base=f0)
+            t_d = pb.ild(DType.I64, self.d_base, t_inner)
+            t_cond = pb.alus(DType.I64, AluOp.GE, t_d, THRESHOLD)
+            t_c = pb.ild(DType.I64, self.c_base, t_inner, tc=t_cond)
+            t_b = pb.ild(DType.I64, self.b_base, t_c, tc=t_cond)
+            t_a = pb.ild(DType.I64, self.a_base, t_b, tc=t_cond)
+            pb.wait(t_a)
+            chunk_items = pb.build()
+            expect = self._expected_chunk(f0, f1)
+            n_before = sum(isinstance(x, Instr) for x in items)
+            n_chunk = sum(isinstance(x, Instr) for x in chunk_items)
+            self.expect_gather(n_before + n_chunk - 1, expect)
+            items += chunk_items
+            # Residual: consume the packed tile and compute gradients.
+            spd = pb.spd_addr(t_a)
+            count = int((highs[f0:f1] - lows[f0:f1]).sum())
+            traces = []
+            for part in split_static(list(range(count)), cores):
+                tb = TraceBuilder()
+                for e in part:
+                    tb.load(spd + 4 * e, size=4, pc=PC_SPD, extra=4)
+                traces.append(tb.finish())
+            items.append(CoreWork(traces=traces))
+        return items
+
+    def _expected_chunk(self, f0: int, f1: int) -> np.ndarray:
+        parts = []
+        for u in self.frontier[f0:f1].tolist():
+            j = np.arange(int(self.h[u]), int(self.h[u + 1]))
+            vals = np.where(self.d[j] >= THRESHOLD,
+                            self.a[self.b[self.c[j]]], 0)
+            parts.append(vals)
+        return np.concatenate(parts) if parts else np.zeros(0, np.int64)
+
+    def expected(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def dmp_streams(self) -> dict[int, np.ndarray]:
+        return {PC_INDIRECT: self.b_base + 8 * self.c}
+
+
+class GZZI(_GradientIndirectLD):
+    name = "GZZI"
+    target_divisor = 1
+
+
+class GZPI(_GradientIndirectLD):
+    name = "GZPI"
+    pattern = ("LD A[B[C[j]]] if (D[j] >= F), j = H[K[i]] to H[K[i]+1] "
+               "(zone-to-point)")
+    target_divisor = 4

@@ -1,0 +1,81 @@
+"""Tag-store behaviour: LRU, eviction, dirty tracking, invalidation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import CacheConfig
+from repro.cache import Cache
+
+
+def tiny_cache(ways=2, sets=2):
+    return Cache(CacheConfig("T", 64 * ways * sets, ways, latency=1, mshrs=4))
+
+
+def test_miss_then_hit():
+    c = tiny_cache()
+    assert not c.lookup(0x1000)
+    c.insert(0x1000)
+    assert c.lookup(0x1000)
+    assert c.lookup(0x1004)  # same line
+
+
+def test_lru_eviction_order():
+    c = tiny_cache(ways=2, sets=1)
+    c.insert(0)        # line A
+    c.insert(64)       # line B
+    c.lookup(0)        # A becomes MRU
+    victim = c.insert(128)
+    assert victim == (64, False)
+    assert c.lookup(0) and not c.lookup(64)
+
+
+def test_dirty_eviction_reported():
+    c = tiny_cache(ways=1, sets=1)
+    c.insert(0, dirty=True)
+    victim = c.insert(64)
+    assert victim == (0, True)
+    assert c.stats.get("dirty_evictions") == 1
+
+
+def test_touch_marks_dirty():
+    c = tiny_cache()
+    c.insert(0x40)
+    c.touch(0x40, dirty=True)
+    # Evict by filling the set; the dirtied line must come out dirty.
+    victims = [c.insert(0x40 + i * 64 * c.config.sets) for i in range(1, 4)]
+    assert (0x40, True) in [v for v in victims if v is not None]
+
+
+def test_insert_existing_line_is_noop_eviction():
+    c = tiny_cache()
+    c.insert(0)
+    assert c.insert(0) is None
+    assert c.resident_lines == 1
+
+
+def test_invalidate():
+    c = tiny_cache()
+    c.insert(0x80)
+    assert c.invalidate(0x80)
+    assert not c.lookup(0x80)
+    assert not c.invalidate(0x80)
+
+
+def test_sets_are_independent():
+    c = tiny_cache(ways=1, sets=2)
+    c.insert(0)    # set 0
+    c.insert(64)   # set 1
+    assert c.lookup(0) and c.lookup(64)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+def test_capacity_invariant(line_indices):
+    c = tiny_cache(ways=4, sets=4)
+    for idx in line_indices:
+        c.insert(idx * 64)
+    assert c.resident_lines <= 16
+    # Every recent distinct line within one set's way-count must be resident.
+    last = line_indices[-1]
+    assert c.lookup(last * 64)

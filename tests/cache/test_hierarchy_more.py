@@ -1,0 +1,76 @@
+"""Additional hierarchy behaviours: writeback paths, coalescing stats,
+observer contract, prefetch-into-SPD suppression."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common import HitLevel, SystemConfig
+from repro.cache import MemoryHierarchy
+from repro.dram import DRAMSystem
+
+
+def build(**over):
+    cfg = SystemConfig.baseline()
+    if over:
+        cfg = replace(cfg, **over)
+    dram = DRAMSystem(cfg.dram)
+    return cfg, dram, MemoryHierarchy(cfg, dram)
+
+
+def test_observers_receive_tags_and_pcs():
+    cfg, dram, h = build()
+    seen = []
+    h.observers.append(lambda core, addr, pc, tag, t:
+                       seen.append((core, addr, pc, tag)))
+    h.access(2, 0x1234, False, t=5, pc=77, tag=9, prefetch=False)
+    assert seen == [(2, 0x1234, 77, 9)]
+
+
+def test_stores_dirty_the_line_and_write_back_on_eviction():
+    small_llc = replace(SystemConfig.baseline().llc,
+                        size_bytes=64 * 4 * 8, ways=4, mshrs=8)
+    cfg, dram, h = build(llc=small_llc)
+    # Write a line, then push it out of the tiny LLC with other lines.
+    h.access(0, 0x100, True, 0, prefetch=False).resolve(dram)
+    for i in range(1, 64):
+        h.access(0, 0x100 + i * 64 * 8, False, i * 100,
+                 prefetch=False).resolve(dram)
+    dram.drain()
+    assert dram.merged_stats().get("writes", 0) >= 1
+
+
+def test_l1_coalescing_counts():
+    cfg, dram, h = build()
+    h.access(0, 0x9000, False, 0, prefetch=False)
+    h.access(0, 0x9008, False, 1, prefetch=False)
+    h.access(0, 0x9010, False, 2, prefetch=False)
+    assert h.stats.get("l1_mshr_coalesced") == 2
+    assert dram.merged_stats().get("requests") == 1
+
+
+def test_spd_region_store_marks_dirty_but_no_dram():
+    cfg, dram, h = build()
+    lo = 1 << 40
+    h.register_spd_region(lo, lo + (1 << 16), latency=10)
+    r = h.access(0, lo + 64, True, 0, prefetch=False)
+    assert r.level == HitLevel.SPD
+    dram.drain()
+    assert dram.merged_stats().get("requests", 0) == 0
+
+
+def test_snoop_does_not_perturb_lru():
+    cfg, dram, h = build()
+    h.access(0, 0, False, 0, prefetch=False).resolve(dram)
+    h.access(0, 64, False, 10, prefetch=False).resolve(dram)
+    before = h.llc.resident_lines
+    for _ in range(100):
+        h.snoop(0)
+    assert h.llc.resident_lines == before
+
+
+def test_distinct_cores_have_private_l1():
+    cfg, dram, h = build()
+    h.access(0, 0x5000, False, 0, prefetch=False).resolve(dram)
+    assert h.l1[0].lookup(0x5000, update_lru=False)
+    assert not h.l1[1].lookup(0x5000, update_lru=False)

@@ -1,0 +1,59 @@
+from repro.cache import StridePrefetcher
+
+
+def test_needs_two_confirmations_before_prefetching():
+    pf = StridePrefetcher(degree=1)
+    assert pf.observe(pc=1, addr=0) == []
+    assert pf.observe(pc=1, addr=64) == []       # stride learned
+    assert pf.observe(pc=1, addr=128) == []      # first confirmation
+    assert pf.observe(pc=1, addr=192) == [256]   # confident
+
+
+def test_degree_controls_lookahead():
+    pf = StridePrefetcher(degree=3)
+    for addr in (0, 64, 128):
+        pf.observe(pc=7, addr=addr)
+    assert pf.observe(pc=7, addr=192) == [256, 320, 384]
+
+
+def test_random_addresses_never_train():
+    pf = StridePrefetcher(degree=2)
+    out = []
+    for addr in (0, 777 * 64, 13 * 64, 999 * 64, 4 * 64, 123 * 64):
+        out += pf.observe(pc=3, addr=addr)
+    assert out == []
+
+
+def test_stride_change_resets_confidence():
+    pf = StridePrefetcher(degree=1)
+    for addr in (0, 8, 16, 24):
+        pf.observe(pc=1, addr=addr)
+    assert pf.observe(pc=1, addr=32) != []
+    # Break the stride.
+    assert pf.observe(pc=1, addr=1000) == []
+    assert pf.observe(pc=1, addr=1008) == []
+
+
+def test_small_strides_dedupe_to_lines():
+    pf = StridePrefetcher(degree=2)
+    for addr in (0, 8, 16):
+        pf.observe(pc=1, addr=addr)
+    out = pf.observe(pc=1, addr=24)
+    # 24+8=32 and 24+16=40 share line 0: a single line candidate.
+    assert out == [0]
+
+
+def test_pcs_are_independent():
+    pf = StridePrefetcher(degree=1)
+    for addr in (0, 64, 128):
+        pf.observe(pc=1, addr=addr)
+        pf.observe(pc=2, addr=addr + 7)
+    assert pf.observe(pc=1, addr=192) == [256]
+    assert pf.observe(pc=2, addr=199) == [256]
+
+
+def test_table_capacity_bounded():
+    pf = StridePrefetcher(degree=1, table_size=4)
+    for pc in range(100):
+        pf.observe(pc=pc, addr=pc * 64)
+    assert len(pf._table) <= 4

@@ -1,0 +1,67 @@
+"""Hierarchy extensions: scratchpad-backed regions and DMP prefetch fills."""
+
+import pytest
+
+from repro.common import HitLevel, SystemConfig
+from repro.cache import MemoryHierarchy
+from repro.dram import DRAMSystem
+
+
+def build():
+    cfg = SystemConfig.baseline()
+    dram = DRAMSystem(cfg.dram)
+    return cfg, dram, MemoryHierarchy(cfg, dram)
+
+
+SPD_LO = 1 << 40
+SPD_HI = SPD_LO + (1 << 20)
+
+
+def test_spd_region_fills_without_dram():
+    cfg, dram, h = build()
+    h.register_spd_region(SPD_LO, SPD_HI, latency=20)
+    r = h.access(0, SPD_LO + 128, False, t=0, prefetch=False)
+    assert r.level == HitLevel.SPD
+    assert r.complete == 0 + cfg.l1.latency + cfg.l2.latency \
+        + cfg.llc.latency + 20
+    assert dram.merged_stats().get("requests", 0) == 0
+    # Second access hits the cache normally.
+    r2 = h.access(0, SPD_LO + 128, False, t=r.complete, prefetch=False)
+    assert r2.level == HitLevel.L1
+
+
+def test_spd_region_rejects_empty():
+    cfg, dram, h = build()
+    with pytest.raises(ValueError):
+        h.register_spd_region(10, 10, latency=1)
+
+
+def test_dmp_prefetch_pays_real_latency():
+    cfg, dram, h = build()
+    line = 0x40000
+    h.prefetch_into(0, line, t=0)
+    assert h.stats.get("dmp_prefetch_issued") == 1
+    # Demand shortly after coalesces on the in-flight fill.
+    r = h.access(0, line, False, t=10, prefetch=False)
+    assert r.level == HitLevel.DRAM
+    done = r.resolve(dram)
+    assert done > 10 + cfg.llc.latency  # not a free hit
+
+
+def test_dmp_prefetch_duplicate_and_resident_dropped():
+    cfg, dram, h = build()
+    line = 0x80000
+    h.prefetch_into(0, line, t=0)
+    h.prefetch_into(0, line, t=1)   # in flight / tag-resident: no re-issue
+    assert h.stats.get("dmp_prefetch_issued") == 1
+    dram.drain()
+    before = h.stats.get("dmp_prefetch_issued")
+    h.prefetch_into(0, line, t=10_000)
+    assert h.stats.get("dmp_prefetch_issued") == before
+
+
+def test_dmp_prefetch_respects_mshr_capacity():
+    cfg, dram, h = build()
+    for i in range(cfg.llc.mshrs + 8):
+        h.prefetch_into(0, (1 << 22) + i * 64, t=0)
+    assert h.stats.get("dmp_prefetch_dropped") >= 8

@@ -1,0 +1,58 @@
+import math
+
+import pytest
+
+from repro.common import Stats, geomean
+
+
+def test_counters_and_ratio():
+    s = Stats()
+    s.add("hits", 3)
+    s.add("misses")
+    assert s.get("hits") == 3
+    assert s.ratio("hits", "total", default=-1.0) == -1.0
+    s.add("total", 4)
+    assert s.ratio("hits", "total") == pytest.approx(0.75)
+
+
+def test_weighted_mean():
+    s = Stats()
+    s.observe("occ", 2.0, weight=10)
+    s.observe("occ", 4.0, weight=30)
+    assert s.mean("occ") == pytest.approx(3.5)
+    assert s.mean("missing", default=7.0) == 7.0
+
+
+def test_merge_combines_everything():
+    a, b = Stats(), Stats()
+    a.add("x", 1)
+    b.add("x", 2)
+    a.observe("m", 1.0, 1)
+    b.observe("m", 3.0, 1)
+    a.bucket("h", 5)
+    b.bucket("h", 5, 2)
+    a.merge(b)
+    assert a.get("x") == 3
+    assert a.mean("m") == pytest.approx(2.0)
+    assert a.hists["h"][5] == 3
+
+
+def test_as_dict_includes_means():
+    s = Stats()
+    s.add("n", 2)
+    s.observe("lat", 10, 1)
+    d = s.as_dict()
+    assert d["n"] == 2
+    assert d["lat:mean"] == 10
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([3.0]) == 3.0
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    vals = [1.5, 2.5, 3.5, 4.5]
+    expected = math.exp(sum(math.log(v) for v in vals) / len(vals))
+    assert geomean(vals) == pytest.approx(expected)

@@ -1,0 +1,102 @@
+"""Indirect-access detection and the legality (alias) analysis."""
+
+from repro.common import AluOp, DType
+from repro.compiler import (
+    ArrayDecl, Assign, BinOp, Const, Function, If, Load, Loop, Store, Var,
+    find_indirect_accesses, is_legal, legal_accesses,
+)
+
+
+def loop_of(body, var="i", n=16, parallel=True):
+    return Loop(var, Const(0), Const(n), body, parallel=parallel)
+
+
+def test_detects_simple_gather():
+    loop = loop_of([Store("C", Var("i"), Load("A", Load("B", Var("i"))))])
+    found = find_indirect_accesses(loop)
+    assert len(found) == 1
+    acc = found[0]
+    assert acc.kind == "load" and acc.array == "A"
+    assert acc.depth == 1  # one level of indirection in the index
+
+
+def test_direct_access_not_flagged():
+    loop = loop_of([Store("C", Var("i"), Load("A", Var("i")))])
+    assert find_indirect_accesses(loop) == []
+
+
+def test_detects_through_use_def_chain():
+    # t = B[i]; u = t & 63;  ... A[u]  (the hash-join pattern)
+    loop = loop_of([
+        Assign("t", Load("B", Var("i"))),
+        Assign("u", BinOp(AluOp.AND, Var("t"), Const(63))),
+        Store("C", Var("i"), Load("A", Var("u"))),
+    ])
+    found = find_indirect_accesses(loop)
+    assert len(found) == 1
+    assert found[0].array == "A"
+
+
+def test_detects_conditional_store_and_rmw():
+    loop = loop_of([
+        If(BinOp(AluOp.GE, Load("D", Var("i")), Const(0)), [
+            Store("A", Load("B", Var("i")), Const(1), accum=AluOp.ADD),
+        ]),
+    ])
+    found = find_indirect_accesses(loop)
+    rmws = [a for a in found if a.kind == "rmw"]
+    assert len(rmws) == 1
+    assert rmws[0].cond is not None
+
+
+def test_multi_level_depth():
+    loop = loop_of([
+        Store("X", Var("i"), Load("A", Load("B", Load("C", Var("i"))))),
+    ])
+    acc = [a for a in find_indirect_accesses(loop) if a.array == "A"]
+    assert acc and acc[0].depth == 2  # B[C[i]] index chain
+
+
+def test_gauss_seidel_is_illegal():
+    """Indirect load from an array the loop also stores to (Section 4.2)."""
+    loop = loop_of([
+        Store("A", Var("i"),
+              BinOp(AluOp.ADD, Load("A", Load("B", Var("i"))), Const(1))),
+    ])
+    found = find_indirect_accesses(loop)
+    assert found
+    assert all(not is_legal(loop, a) for a in found)
+
+
+def test_serial_loop_is_illegal():
+    loop = loop_of([Store("C", Var("i"), Load("A", Load("B", Var("i"))))],
+                   parallel=False)
+    assert legal_accesses(loop) == []
+
+
+def test_index_array_written_is_illegal():
+    # B is both the index source and a store target.
+    loop = loop_of([
+        Store("C", Var("i"), Load("A", Load("B", Var("i")))),
+        Store("B", Var("i"), Const(0)),
+    ])
+    gather = [a for a in find_indirect_accesses(loop) if a.array == "A"]
+    assert gather and not is_legal(loop, gather[0])
+
+
+def test_legal_rmw():
+    loop = loop_of([
+        Store("A", Load("B", Var("i")), Load("C", Var("i")),
+              accum=AluOp.ADD),
+    ])
+    legal = legal_accesses(loop)
+    assert len(legal) == 1 and legal[0].kind == "rmw"
+
+
+def test_store_value_reading_target_is_illegal():
+    # A[B[i]] = A[C[i]] — scatter whose value reads the scattered array.
+    loop = loop_of([
+        Store("A", Load("B", Var("i")), Load("A", Load("C", Var("i")))),
+    ])
+    stores = [a for a in find_indirect_accesses(loop) if a.kind == "store"]
+    assert stores and not is_legal(loop, stores[0])

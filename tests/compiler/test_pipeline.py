@@ -1,0 +1,172 @@
+"""End-to-end compiler runs: interpret original vs execute lowered program."""
+
+import numpy as np
+import pytest
+
+from repro.common import AluOp, DType, DX100Config
+from repro.compiler import (
+    ArrayDecl, BinOp, Const, Function, If, Load, Loop, Store, Var,
+    bind_arrays, hoist, offload_kernel, reference_run, tile_loop, innermost,
+)
+from repro.dx100 import FunctionalDX100, HostMemory
+
+
+def run_compiled(fn, arrays, tile=64):
+    """Compile, run on the functional DX100, and return final memory."""
+    config = DX100Config(tile_elems=tile)
+    mem = HostMemory(1 << 22)
+    bindings = bind_arrays(fn, mem, arrays)
+    kernel = offload_kernel(fn, bindings, config, tile=tile)
+    FunctionalDX100(config, mem).run(kernel.program)
+    return {name: mem.view(name) for name in fn.arrays}, kernel
+
+
+def gather_fn(n, m):
+    return Function(
+        "gather",
+        arrays={
+            "A": ArrayDecl("A", DType.I64, m),
+            "B": ArrayDecl("B", DType.I64, n),
+            "C": ArrayDecl("C", DType.I64, n),
+        },
+        body=[Loop("i", Const(0), Const(n), [
+            Store("C", Var("i"), Load("A", Load("B", Var("i")))),
+        ])],
+    )
+
+
+def test_tiling_structure():
+    loop = gather_fn(100, 10).body[0]
+    tiled = tile_loop(loop, 32)
+    assert tiled.step == 32
+    inner = innermost(tiled)
+    assert inner.var == "i" and inner is not tiled
+    with pytest.raises(ValueError):
+        tile_loop(loop, 0)
+
+
+def test_hoist_produces_full_offload_for_gather():
+    loop = innermost(tile_loop(gather_fn(100, 10).body[0], 32))
+    plan = hoist(loop)
+    assert len(plan.packed_loads) == 1
+    assert len(plan.direct_stores) == 1
+    assert plan.full_offload
+
+
+def test_compiled_gather_matches_interpreter():
+    n, m = 200, 64
+    rng = np.random.default_rng(0)
+    arrays = {
+        "A": rng.integers(0, 1000, m).astype(np.int64),
+        "B": rng.integers(0, m, n).astype(np.int64),
+        "C": np.zeros(n, dtype=np.int64),
+    }
+    fn = gather_fn(n, m)
+    expect = reference_run(fn, arrays)
+    got, kernel = run_compiled(fn, arrays, tile=64)
+    assert got["C"].tolist() == expect["C"].tolist()
+    assert len(kernel.chunks) == 4  # 200/64 rounded up
+
+
+def test_compiled_conditional_rmw_matches_interpreter():
+    """GZP pattern: if (D[i] >= F) A[B[i]] += C[i]."""
+    n, m = 150, 80
+    rng = np.random.default_rng(1)
+    arrays = {
+        "A": np.zeros(m, dtype=np.int64),
+        "B": rng.integers(0, m, n).astype(np.int64),
+        "C": rng.integers(1, 10, n).astype(np.int64),
+        "D": rng.integers(0, 100, n).astype(np.int64),
+    }
+    fn = Function(
+        "gzp",
+        arrays={name: ArrayDecl(name, DType.I64, len(arr))
+                for name, arr in arrays.items()},
+        body=[Loop("i", Const(0), Const(n), [
+            If(BinOp(AluOp.GE, Load("D", Var("i")), Const(50)), [
+                Store("A", Load("B", Var("i")), Load("C", Var("i")),
+                      accum=AluOp.ADD),
+            ]),
+        ])],
+    )
+    expect = reference_run(fn, arrays)
+    got, kernel = run_compiled(fn, arrays, tile=32)
+    assert got["A"].tolist() == expect["A"].tolist()
+    assert kernel.plan.packed_stores[0].accum == AluOp.ADD
+
+
+def test_compiled_hash_join_address_calc():
+    """PRH pattern: A[B[(C[i] & F) >> G]] = C[i]."""
+    n, buckets = 128, 32
+    rng = np.random.default_rng(2)
+    arrays = {
+        "A": np.zeros(buckets, dtype=np.int64),
+        "B": rng.permutation(buckets).astype(np.int64),
+        "C": rng.integers(0, 1 << 16, n).astype(np.int64),
+    }
+    fn = Function(
+        "prh",
+        arrays={name: ArrayDecl(name, DType.I64, len(arr))
+                for name, arr in arrays.items()},
+        body=[Loop("i", Const(0), Const(n), [
+            Store("A",
+                  Load("B", BinOp(AluOp.SHR,
+                                  BinOp(AluOp.AND, Load("C", Var("i")),
+                                        Const((buckets - 1) << 9)),
+                                  Const(9))),
+                  Load("C", Var("i"))),
+        ])],
+    )
+    expect = reference_run(fn, arrays)
+    got, _ = run_compiled(fn, arrays, tile=64)
+    assert got["A"].tolist() == expect["A"].tolist()
+
+
+def test_multi_level_indirection_compiles():
+    n = 96
+    rng = np.random.default_rng(3)
+    arrays = {
+        "A": rng.integers(0, 50, 256).astype(np.int64),
+        "B": rng.integers(0, 256, 128).astype(np.int64),
+        "C": rng.integers(0, 128, n).astype(np.int64),
+        "X": np.zeros(n, dtype=np.int64),
+    }
+    fn = Function(
+        "gzzi",
+        arrays={name: ArrayDecl(name, DType.I64, len(arr))
+                for name, arr in arrays.items()},
+        body=[Loop("i", Const(0), Const(n), [
+            Store("X", Var("i"), Load("A", Load("B", Load("C", Var("i"))))),
+        ])],
+    )
+    expect = reference_run(fn, arrays)
+    got, _ = run_compiled(fn, arrays, tile=32)
+    assert got["X"].tolist() == expect["X"].tolist()
+
+
+def test_illegal_kernel_rejected():
+    n = 32
+    fn = Function(
+        "gauss_seidel",
+        arrays={
+            "A": ArrayDecl("A", DType.I64, n),
+            "B": ArrayDecl("B", DType.I64, n),
+        },
+        body=[Loop("i", Const(0), Const(n), [
+            Store("A", Var("i"),
+                  BinOp(AluOp.ADD, Load("A", Load("B", Var("i"))), Const(1))),
+        ])],
+    )
+    mem = HostMemory(1 << 20)
+    arrays = {"A": np.zeros(n, dtype=np.int64),
+              "B": np.zeros(n, dtype=np.int64)}
+    bindings = bind_arrays(fn, mem, arrays)
+    with pytest.raises(ValueError):
+        offload_kernel(fn, bindings, DX100Config(tile_elems=16))
+
+
+def test_non_loop_body_rejected():
+    fn = Function("flat", {"A": ArrayDecl("A", DType.I64, 4)},
+                  [Store("A", Const(0), Const(1))])
+    with pytest.raises(ValueError):
+        offload_kernel(fn, {}, DX100Config())

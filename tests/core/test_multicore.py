@@ -1,0 +1,79 @@
+from dataclasses import replace
+
+import pytest
+
+from repro.common import SystemConfig
+from repro.cache import MemoryHierarchy
+from repro.core import Multicore, TraceBuilder
+from repro.dram import DRAMSystem
+
+
+def build(cores=4):
+    cfg = SystemConfig.baseline()
+    cfg = replace(cfg, l1=replace(cfg.l1, prefetcher=False),
+                  l2=replace(cfg.l2, prefetcher=False))
+    dram = DRAMSystem(cfg.dram)
+    hier = MemoryHierarchy(cfg, dram)
+    return cfg, dram, hier, Multicore(cfg, hier, dram)
+
+
+def gather_trace(base, n, stride=4096):
+    tb = TraceBuilder()
+    for i in range(n):
+        tb.load(base + i * stride, extra=4)
+    return tb.finish()
+
+
+def test_four_cores_share_memory():
+    cfg, dram, hier, mc = build()
+    traces = [gather_trace(i * (1 << 24), 64) for i in range(4)]
+    finish = mc.run(traces)
+    assert finish > 0
+    assert dram.merged_stats().get("requests") >= 4 * 64 * 0.9
+    assert mc.total_instructions() == sum(t.instructions for t in traces)
+
+
+def test_parallel_speedup_for_compute_bound_work():
+    # Frontend-bound work scales with core count.
+    def compute_trace(base, n):
+        tb = TraceBuilder()
+        for i in range(n):
+            tb.load(base + i * 8, extra=100)  # mostly L1 hits + compute
+        return tb.finish()
+
+    cfg, dram, hier, mc = build()
+    single_finish = mc.run([compute_trace(0, 256)])
+
+    cfg2, dram2, hier2, mc2 = build()
+    quarter = [compute_trace(i * (1 << 22), 64) for i in range(4)]
+    multi_finish = mc2.run(quarter)
+    assert multi_finish < 0.5 * single_finish
+
+
+def test_inter_core_row_interleaving_causes_conflicts():
+    """Four cores striding in different rows of the same banks force row
+    switches that a single core's stream would not — the inter-core
+    interference the paper motivates (Section 1)."""
+    cfg, dram, hier, mc = build()
+    traces = [gather_trace(i * (1 << 24), 64, stride=4096) for i in range(4)]
+    mc.run(traces)
+    multi_stats = dram.merged_stats()
+
+    cfg2, dram2, hier2, mc2 = build()
+    mc2.run([gather_trace(0, 256, stride=4096)])
+    single_stats = dram2.merged_stats()
+
+    assert multi_stats.get("row_conflicts") > single_stats.get("row_conflicts")
+
+
+def test_too_many_traces_rejected():
+    cfg, dram, hier, mc = build()
+    with pytest.raises(ValueError):
+        mc.run([gather_trace(0, 1)] * 5)
+
+
+def test_merged_stats():
+    cfg, dram, hier, mc = build()
+    mc.run([gather_trace(0, 8), gather_trace(1 << 24, 8)])
+    merged = mc.merged_stats()
+    assert merged.get("ops") == 16

@@ -1,0 +1,142 @@
+"""The core window model: dependence chains, structural limits, atomics."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.common import SystemConfig
+from repro.cache import MemoryHierarchy
+from repro.core import AtomicsArbiter, CoreModel, TraceBuilder
+from repro.dram import DRAMSystem
+
+
+def make_system(cores=1, prefetch=False):
+    cfg = SystemConfig.baseline(cores=4)
+    if not prefetch:
+        cfg = replace(cfg, l1=replace(cfg.l1, prefetcher=False),
+                      l2=replace(cfg.l2, prefetcher=False))
+    dram = DRAMSystem(cfg.dram)
+    hier = MemoryHierarchy(cfg, dram)
+    core = CoreModel(0, cfg.core, hier, dram)
+    return cfg, dram, hier, core
+
+
+def test_independent_loads_overlap():
+    """N independent misses should finish far faster than N serial ones."""
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    for i in range(16):
+        tb.load(i * 4096)
+    parallel_finish = core.run(tb.finish())
+
+    cfg2, dram2, hier2, core2 = make_system()
+    tb2 = TraceBuilder()
+    prev = tb2.load(0)
+    for i in range(1, 16):
+        prev = tb2.load(i * 4096 + 2 ** 22, deps=(prev,))
+    serial_finish = core2.run(tb2.finish())
+    assert serial_finish > 2.5 * parallel_finish
+
+
+def test_dependence_chain_limits_outstanding_requests():
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    prev = tb.load(0)
+    for i in range(1, 12):
+        prev = tb.load(i * 4096, deps=(prev,))
+    core.run(tb.finish())
+    # Serial chain: mean controller occupancy stays near 1.
+    assert dram.mean_occupancy() < 2.0
+
+
+def test_rob_bounds_window():
+    """With huge per-op instruction counts the ROB admits few ops at once."""
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    for i in range(64):
+        tb.load(i * 4096, extra=111)  # 112 instrs/op -> 2 ops fit in ROB 224
+    core.run(tb.finish())
+    assert core.stats.get("rob_stalls") > 0
+    assert dram.mean_occupancy() < 4.0
+
+
+def test_lq_bounds_loads():
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    for i in range(cfg.core.lq_size + 8):
+        tb.load(i * 4096)
+    core.run(tb.finish())
+    assert core.stats.get("lq_stalls") > 0
+
+
+def test_atomic_rmws_serialize():
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    for i in range(8):
+        tb.rmw(i * 4096, atomic=True)
+    atomic_finish = core.run(tb.finish())
+
+    cfg2, dram2, hier2, core2 = make_system()
+    tb2 = TraceBuilder()
+    for i in range(8):
+        tb2.rmw(i * 4096, atomic=False)
+    plain_finish = core2.run(tb2.finish())
+    assert atomic_finish > 1.5 * plain_finish
+    assert core.stats.get("atomics") == 8
+
+
+def test_atomic_misses_serialize_on_memory_latency():
+    """Atomics that miss to DRAM cannot overlap within a core — each waits
+    for the previous completion (this is why IS gains so much, Section 6.1)."""
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    for i in range(8):
+        tb.rmw(i * 4096 + (1 << 22), atomic=True)
+    atomic_finish = core.run(tb.finish())
+
+    cfg2, dram2, hier2, core2 = make_system()
+    tb2 = TraceBuilder()
+    for i in range(8):
+        tb2.rmw(i * 4096 + (1 << 22), atomic=False)
+    overlap_finish = core2.run(tb2.finish())
+    assert atomic_finish > 1.5 * overlap_finish
+
+
+def test_arbiter_is_per_core():
+    arb = AtomicsArbiter(fence_cycles=5)
+    arb.release(core=0, issue=100, completion=180)
+    # busy until issue + fence + (completion-issue)/OVERLAP = 100+5+20
+    assert arb.acquire(core=0, t=0) == 125
+    assert arb.acquire(core=1, t=0) == 0
+
+
+def test_instruction_accounting():
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    tb.load(0, extra=3)
+    tb.compute(6)
+    tb.store(64)
+    tb.compute(2)
+    finish = core.run(tb.finish())
+    assert core.stats.get("instructions") == (1 + 3) + (1 + 6) + 2
+    assert finish > 0
+
+
+def test_frontend_bandwidth_bounds_compute():
+    """A trace of pure-compute ops takes at least instrs/width cycles."""
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    for i in range(8):
+        tb.load(i * 8, extra=799)  # same line: L1 after first fill
+    finish = core.run(tb.finish())
+    assert finish >= 8 * 800 / cfg.core.width
+
+
+def test_step_errors_when_exhausted():
+    cfg, dram, hier, core = make_system()
+    tb = TraceBuilder()
+    tb.load(0)
+    core.run(tb.finish())
+    with pytest.raises(RuntimeError):
+        core.step()

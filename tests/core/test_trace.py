@@ -1,0 +1,65 @@
+import pytest
+
+from repro.common import AccessType
+from repro.core import TraceBuilder, split_static
+
+
+def test_builder_emits_ops_in_order():
+    tb = TraceBuilder()
+    i0 = tb.load(0x100)
+    i1 = tb.load(0x200, deps=(i0,))
+    i2 = tb.store(0x300, deps=(i1,))
+    trace = tb.finish()
+    assert [op.kind for op in trace.ops] == [
+        AccessType.LOAD, AccessType.LOAD, AccessType.STORE
+    ]
+    assert trace.ops[1].deps == (0,)
+    assert trace.ops[2].deps == (1,)
+
+
+def test_compute_attributes_to_next_op():
+    tb = TraceBuilder()
+    tb.compute(5)
+    tb.load(0x100, extra=2)
+    trace = tb.finish()
+    assert trace.ops[0].extra_instrs == 7
+    assert trace.instructions == 8  # 1 op + 7 extra
+
+
+def test_trailing_compute_goes_to_tail():
+    tb = TraceBuilder()
+    tb.load(0)
+    tb.compute(10)
+    trace = tb.finish()
+    assert trace.tail_instrs == 10
+    assert trace.instructions == 11
+
+
+def test_forward_dependence_rejected():
+    tb = TraceBuilder()
+    tb.load(0)
+    with pytest.raises(ValueError):
+        tb.load(8, deps=(5,))
+
+
+def test_negative_compute_rejected():
+    tb = TraceBuilder()
+    with pytest.raises(ValueError):
+        tb.compute(-1)
+
+
+def test_rmw_and_atomic_flags():
+    tb = TraceBuilder()
+    tb.rmw(0x40, atomic=True)
+    trace = tb.finish()
+    assert trace.ops[0].kind == AccessType.RMW
+    assert trace.ops[0].atomic
+
+
+def test_split_static_blocks():
+    parts = split_static(list(range(10)), 4)
+    assert len(parts) == 4
+    assert [len(p) for p in parts] == [2, 2, 2, 4]
+    assert sum(parts, []) == list(range(10))
+    with pytest.raises(ValueError):
+        split_static([1], 0)

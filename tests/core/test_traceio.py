@@ -1,0 +1,49 @@
+"""Trace save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.common import SystemConfig
+from repro.core.traceio import load_traces, save_traces
+from repro.dx100 import HostMemory
+from repro.sim.system import SimSystem
+from repro.workloads import IntegerSort
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    wl = IntegerSort(scale=512, bucket_space=1 << 14)
+    wl.generate(HostMemory(1 << 22))
+    traces = wl.baseline_traces(4)
+    path = tmp_path / "traces.npz"
+    save_traces(path, traces)
+    loaded = load_traces(path)
+    assert len(loaded) == len(traces)
+    for orig, back in zip(traces, loaded):
+        assert len(orig.ops) == len(back.ops)
+        assert orig.instructions == back.instructions
+        assert orig.tail_instrs == back.tail_instrs
+        for a, b in zip(orig.ops, back.ops):
+            assert (a.kind, a.addr, a.size, a.deps, a.extra_instrs,
+                    a.atomic, a.pc, a.tag) == \
+                   (b.kind, b.addr, b.size, b.deps, b.extra_instrs,
+                    b.atomic, b.pc, b.tag)
+
+
+def test_replayed_trace_times_identically(tmp_path):
+    wl = IntegerSort(scale=512, bucket_space=1 << 14)
+    wl.generate(HostMemory(1 << 22))
+    traces = wl.baseline_traces(4)
+    path = tmp_path / "traces.npz"
+    save_traces(path, traces)
+
+    def run(trs):
+        system = SimSystem(SystemConfig.baseline_scaled())
+        return system.multicore.run(trs)
+
+    assert run(traces) == run(load_traces(path))
+
+
+def test_empty_trace_list(tmp_path):
+    path = tmp_path / "empty.npz"
+    save_traces(path, [])
+    assert load_traces(path) == []

@@ -1,0 +1,76 @@
+"""Address mapper: bijectivity and interleaving properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import DRAMConfig
+from repro.dram import AddressMapper
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return AddressMapper(DRAMConfig())
+
+
+def test_sequential_lines_interleave_channels(mapper):
+    coords = [mapper.map(i * 64) for i in range(8)]
+    assert [c.channel for c in coords] == [0, 1] * 4
+
+
+def test_sequential_lines_interleave_bankgroups(mapper):
+    # Within one channel, consecutive lines walk the four bank groups.
+    coords = [mapper.map(i * 64) for i in range(0, 16, 2)]
+    assert [c.bankgroup for c in coords] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_row_locality_within_channel_group(mapper):
+    # Lines 0 and 8 share (channel, bankgroup, bank, row): column differs.
+    a, b = mapper.map(0), mapper.map(8 * 64)
+    assert a.flat_bank == b.flat_bank
+    assert a.row == b.row
+    assert b.column == a.column + 1
+
+
+def test_compose_round_trip(mapper):
+    addr = mapper.compose(channel=1, bankgroup=2, bank=3, row=77, column=5)
+    c = mapper.map(addr)
+    assert (c.channel, c.bankgroup, c.bank, c.row, c.column) == (1, 2, 3, 77, 5)
+
+
+def test_bad_field_order_rejected():
+    with pytest.raises(ValueError):
+        AddressMapper(DRAMConfig(), order=("channel", "row"))
+
+
+def test_compose_rejects_overflow(mapper):
+    with pytest.raises(ValueError):
+        mapper.compose(channel=2)  # only 1 channel bit
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+def test_map_unmap_is_identity_on_line_addresses(line_index):
+    mapper = AddressMapper(DRAMConfig())
+    addr = line_index * 64 % (1 << mapper.total_bits)
+    assert mapper.unmap(mapper.map(addr)) == mapper.line_addr(addr)
+
+
+@settings(max_examples=100)
+@given(st.permutations(["channel", "bankgroup", "column", "bank", "rank", "row"]))
+def test_any_field_order_is_bijective(order):
+    mapper = AddressMapper(DRAMConfig(), order=tuple(order))
+    for line in (0, 1, 12345, 999_999):
+        addr = line * 64 % (1 << mapper.total_bits)
+        assert mapper.unmap(mapper.map(addr)) == addr
+
+
+def test_coords_within_geometry(mapper):
+    cfg = DRAMConfig()
+    for line in range(0, 4096, 7):
+        c = mapper.map(line * 64)
+        assert 0 <= c.channel < cfg.channels
+        assert 0 <= c.bankgroup < cfg.bankgroups
+        assert 0 <= c.bank < cfg.banks_per_group
+        assert 0 <= c.column < cfg.columns
+        assert 0 <= c.row < cfg.rows

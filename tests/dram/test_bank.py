@@ -1,0 +1,77 @@
+"""Bank / rank / bus timing state machines honour the JEDEC constraints."""
+
+from repro.common import DDR4Timing
+from repro.dram import BankState, ChannelBusState, RankState
+
+T = DDR4Timing()
+
+
+def test_activate_sets_column_and_precharge_windows():
+    bank = BankState()
+    bank.activate(row=5, t_act=100, timing=T)
+    assert bank.open_row == 5
+    assert bank.col_ready == 100 + T.tRCD
+    assert bank.pre_ready == 100 + T.tRAS
+    assert bank.act_ready == 100 + T.tRC
+
+
+def test_precharge_closes_row_and_spaces_next_act():
+    bank = BankState()
+    bank.activate(row=5, t_act=0, timing=T)
+    bank.precharge(t_pre=T.tRAS, timing=T)
+    assert bank.open_row is None
+    assert bank.act_ready >= T.tRAS + T.tRP
+
+
+def test_read_to_precharge_spacing():
+    bank = BankState()
+    bank.activate(row=1, t_act=0, timing=T)
+    bank.column_read(t_col=T.tRCD, timing=T)
+    assert bank.pre_ready >= T.tRCD + T.tRTP
+
+
+def test_write_recovery_pushes_precharge_later_than_read():
+    read_bank, write_bank = BankState(), BankState()
+    read_bank.activate(1, 0, T)
+    write_bank.activate(1, 0, T)
+    read_bank.column_read(T.tRCD, T)
+    write_bank.column_write(T.tRCD, T)
+    assert write_bank.pre_ready > read_bank.pre_ready
+
+
+def test_rank_trrd_short_vs_long():
+    rank = RankState()
+    rank.record_act(bankgroup=0, t_act=100)
+    assert rank.earliest_act(bankgroup=0, timing=T) == 100 + T.tRRD_L
+    assert rank.earliest_act(bankgroup=1, timing=T) == 100 + T.tRRD_S
+
+
+def test_rank_tfaw_limits_four_activates():
+    rank = RankState()
+    for i in range(4):
+        rank.record_act(bankgroup=i, t_act=i * T.tRRD_S)
+    # Fifth ACT must wait for the tFAW window from the first.
+    assert rank.earliest_act(bankgroup=0, timing=T) >= 0 + T.tFAW
+
+
+def test_bus_bankgroup_interleaving_halves_spacing():
+    bus = ChannelBusState()
+    bus.record_col(bankgroup=0, t_col=1000, is_write=False, timing=T)
+    same = bus.earliest_col(bankgroup=0, is_write=False, timing=T)
+    other = bus.earliest_col(bankgroup=1, is_write=False, timing=T)
+    assert same == 1000 + T.tCCD_L
+    assert other == 1000 + T.tCCD_S
+    assert T.tCCD_L == 2 * T.tCCD_S
+
+
+def test_bus_read_write_turnaround():
+    bus = ChannelBusState()
+    bus.record_col(bankgroup=0, t_col=0, is_write=False, timing=T)
+    # Switching to a write to another bank group still pays turnaround.
+    assert bus.earliest_col(bankgroup=1, is_write=True, timing=T) >= T.tCCD_L
+
+
+def test_data_bus_backpressure():
+    bus = ChannelBusState()
+    bus.record_col(bankgroup=0, t_col=0, is_write=False, timing=T)
+    assert bus.data_free == T.tCL + T.tBL

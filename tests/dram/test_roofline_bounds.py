@@ -1,0 +1,88 @@
+"""Analytical lower bounds: the simulator must never beat physics.
+
+Each test computes a closed-form minimum service time for a request
+pattern from the JEDEC constraints, then asserts the simulated schedule
+respects it (and stays within a sane constant factor of it for the
+patterns where the model should be near-optimal).
+"""
+
+import random
+
+import pytest
+
+from repro.common import DDR4Timing, DRAMConfig, DRAMRequest
+from repro.dram import AddressMapper, DRAMSystem, MemoryController
+
+T = DDR4Timing()
+
+
+def _service(addrs, channels=2):
+    system = DRAMSystem(DRAMConfig(channels=channels))
+    reqs = [system.access(a & ~63, False, arrival=0) for a in addrs]
+    system.drain()
+    return system, max(r.finish for r in reqs)
+
+
+def test_data_bus_lower_bound_on_streams():
+    """N bursts need at least N*tBL/channels cycles of bus time."""
+    n = 2048
+    system, finish = _service([i * 64 for i in range(n)])
+    bound = n * T.tBL / 2
+    assert finish >= bound
+    # Stream scheduling should be close to the bound.
+    assert finish < 1.35 * bound + 500
+
+
+def test_tccd_l_lower_bound_same_bankgroup():
+    """All accesses in one bank group: spaced by tCCD_L, not tBL."""
+    cfg = DRAMConfig(channels=1)
+    mapper = AddressMapper(cfg)
+    addrs = [mapper.compose(row=1, column=c) for c in range(64)]
+    system = DRAMSystem(cfg, mapper)
+    reqs = [system.access(a, False, arrival=0) for a in addrs]
+    system.drain()
+    finish = max(r.finish for r in reqs)
+    assert finish >= 64 * T.tCCD_L
+    assert finish < 64 * T.tCCD_L + 300
+
+
+def test_trc_lower_bound_single_bank_row_conflicts():
+    """Alternating rows in one bank serialize on tRC."""
+    cfg = DRAMConfig(channels=1)
+    mapper = AddressMapper(cfg)
+    addrs = [mapper.compose(row=1 + (i % 2) * 7, column=i // 2)
+             for i in range(32)]
+    system = DRAMSystem(cfg, mapper)
+    reqs = []
+    t = 0
+    for a in addrs:  # serial issue to prevent the scheduler batching rows
+        r = system.access(a, False, arrival=t)
+        t = system.complete(r)
+        reqs.append(r)
+    finish = max(r.finish for r in reqs)
+    # 31 row switches, each at least tRC apart at the ACT level.
+    assert finish >= 31 * T.tRC
+
+
+def test_tfaw_lower_bound_random_single_access_rows():
+    """One access per row across many banks: ACT rate capped by tFAW."""
+    cfg = DRAMConfig(channels=1)
+    mapper = AddressMapper(cfg)
+    # 256 distinct rows, single access each, spread over all banks.
+    addrs = [mapper.compose(bankgroup=i % 4, bank=(i // 4) % 4,
+                            row=100 + i, column=0) for i in range(256)]
+    system = DRAMSystem(cfg, mapper)
+    reqs = [system.access(a, False, arrival=0) for a in addrs]
+    system.drain()
+    finish = max(r.finish for r in reqs)
+    # 256 activates in one rank: at most 4 per tFAW window.
+    assert finish >= (256 / 4 - 1) * T.tFAW
+
+
+def test_random_traffic_never_beats_bus_bound():
+    rng = random.Random(5)
+    n = 1024
+    addrs = [rng.randrange(0, 1 << 26) for _ in range(n)]
+    system, finish = _service(addrs)
+    lines = len({a & ~63 for a in addrs})
+    assert finish >= lines * T.tBL / 2

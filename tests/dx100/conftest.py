@@ -1,0 +1,17 @@
+import pytest
+
+from repro.common import SystemConfig
+from repro.cache import MemoryHierarchy
+from repro.dram import DRAMSystem
+from repro.dx100 import DX100, HostMemory
+
+
+@pytest.fixture()
+def dx_system():
+    """A small DX100 system: (config, dram, hierarchy, hostmem, dx)."""
+    cfg = SystemConfig.dx100_system(tile_elems=1024)
+    dram = DRAMSystem(cfg.dram)
+    hier = MemoryHierarchy(cfg, dram)
+    mem = HostMemory(1 << 22)
+    dx = DX100(cfg, hier, dram, mem)
+    return cfg, dram, hier, mem, dx

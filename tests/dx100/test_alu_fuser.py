@@ -1,0 +1,123 @@
+"""ALU unit and Range Fuser semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import AluOp, DType
+from repro.dx100 import AluUnit, RangeFuser, plan_range_chunks
+
+
+def test_vector_arithmetic():
+    alu = AluUnit()
+    a = np.array([1, 2, 3], dtype=np.int64)
+    b = np.array([10, 20, 30], dtype=np.int64)
+    assert alu.apply(AluOp.ADD, a, b, DType.I64).tolist() == [11, 22, 33]
+    assert alu.apply(AluOp.MAX, a, b, DType.I64).tolist() == [10, 20, 30]
+
+
+def test_scalar_hash_join_address_calc():
+    # The PRH pattern: f(C[i]) = (C[i] & F) >> G  (Table 1).
+    alu = AluUnit()
+    c = np.array([0b101100, 0b011010], dtype=np.int64)
+    masked = alu.apply(AluOp.AND, c, 0b111100, DType.I64)
+    shifted = alu.apply(AluOp.SHR, masked, 2, DType.I64)
+    assert shifted.tolist() == [0b1011, 0b0110]
+
+
+def test_comparisons_produce_condition_tiles():
+    alu = AluUnit()
+    d = np.array([5.0, 1.0, 9.0])
+    cond = alu.apply(AluOp.GE, d, 4.0, DType.F64)
+    assert cond.tolist() == [1, 0, 1]
+
+
+def test_condition_masks_lanes():
+    alu = AluUnit()
+    a = np.array([1, 2, 3], dtype=np.int64)
+    out = alu.apply(AluOp.ADD, a, 10, DType.I64,
+                    cond=np.array([1, 0, 1]))
+    assert out.tolist() == [11, 0, 13]
+
+
+def test_cycles_by_lanes():
+    alu = AluUnit(lanes=16)
+    assert alu.cycles(16) == 1
+    assert alu.cycles(17) == 2
+    assert alu.cycles(16 * 1024) == 1024
+    with pytest.raises(ValueError):
+        AluUnit(lanes=0)
+
+
+def test_condition_shape_mismatch():
+    alu = AluUnit()
+    with pytest.raises(ValueError):
+        alu.apply(AluOp.ADD, np.arange(4), 1, DType.I64, cond=np.arange(3))
+
+
+def test_fuse_basic():
+    fuser = RangeFuser()
+    outer, inner = fuser.fuse(lows=[0, 5, 9], highs=[3, 5, 11])
+    assert outer.tolist() == [0, 0, 0, 2, 2]
+    assert inner.tolist() == [0, 1, 2, 9, 10]
+
+
+def test_fuse_with_outer_ids_and_cond():
+    fuser = RangeFuser()
+    outer, inner = fuser.fuse([0, 10], [2, 12], outer_ids=[100, 200],
+                              cond=[1, 0])
+    assert outer.tolist() == [100, 100]
+    assert inner.tolist() == [0, 1]
+
+
+def test_fuse_capacity_enforced():
+    fuser = RangeFuser()
+    with pytest.raises(ValueError):
+        fuser.fuse([0], [100], capacity=50)
+
+
+def test_fuse_mismatched_inputs():
+    fuser = RangeFuser()
+    with pytest.raises(ValueError):
+        fuser.fuse([0, 1], [2])
+
+
+def test_plan_range_chunks():
+    chunks = plan_range_chunks([0, 0, 0], [4, 4, 4], capacity=8)
+    assert chunks == [(0, 2), (2, 3)]
+    assert plan_range_chunks([], [], capacity=4) == [(0, 0)]
+    with pytest.raises(ValueError):
+        plan_range_chunks([0], [100], capacity=8)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10)),
+                min_size=1, max_size=40))
+def test_fuse_matches_python_loops(ranges):
+    lows = [lo for lo, _ in ranges]
+    highs = [lo + n for lo, n in ranges]
+    fuser = RangeFuser()
+    outer, inner = fuser.fuse(lows, highs)
+    expect_outer, expect_inner = [], []
+    for i, (lo, hi) in enumerate(zip(lows, highs)):
+        for j in range(lo, hi):
+            expect_outer.append(i)
+            expect_inner.append(j)
+    assert outer.tolist() == expect_outer
+    assert inner.tolist() == expect_inner
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=50),
+       st.integers(1, 64))
+def test_chunks_cover_everything_within_capacity(counts, capacity):
+    counts = [min(c, capacity) for c in counts]
+    lows = [0] * len(counts)
+    chunks = plan_range_chunks(lows, counts, capacity)
+    covered = []
+    for start, end in chunks:
+        total = sum(counts[start:end])
+        assert total <= capacity
+        covered += list(range(start, end))
+    assert covered == list(range(len(counts)))

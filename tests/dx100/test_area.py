@@ -1,0 +1,39 @@
+"""The Table 4 area/power model."""
+
+import pytest
+
+from repro.common import DX100Config
+from repro.dx100 import area_power, llc_equivalent_mb
+
+
+def test_totals_match_table4():
+    report = area_power()
+    assert report.total_area_mm2 == pytest.approx(4.059, abs=0.01)
+    assert report.total_power_mw == pytest.approx(777.0, abs=1.0)
+
+
+def test_scratchpad_dominates():
+    report = area_power()
+    spd_area, spd_power = report.modules["scratchpad"]
+    assert spd_area > 0.8 * sum(
+        a for name, (a, _) in report.modules.items() if name != "scratchpad"
+    ) * 4
+    assert spd_power > report.total_power_mw / 2
+
+
+def test_14nm_scaling_and_overhead():
+    report = area_power(cores=4)
+    assert report.area_14nm_mm2 == pytest.approx(1.5, abs=0.01)
+    assert report.overhead_percent == pytest.approx(3.7, abs=0.15)
+
+
+def test_scratchpad_scales_with_tile_size():
+    small = area_power(DX100Config(tile_elems=1024))
+    big = area_power(DX100Config(tile_elems=32 * 1024))
+    assert big.total_area_mm2 > small.total_area_mm2
+    ratio = (big.modules["scratchpad"][0] / small.modules["scratchpad"][0])
+    assert ratio == pytest.approx(32.0, rel=1e-6)
+
+
+def test_llc_equivalent_is_about_2mb():
+    assert llc_equivalent_mb() == pytest.approx(1.3, abs=0.3)

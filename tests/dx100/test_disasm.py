@@ -1,0 +1,62 @@
+from repro.common import AluOp, DType, DX100Config
+from repro.dx100 import ProgramBuilder
+from repro.dx100 import isa
+from repro.dx100.disasm import disasm, format_program
+
+
+def test_disasm_every_opcode():
+    cases = {
+        isa.ild(DType.U32, 0x1000, td=1, ts1=2, tc=3):
+            "ILD.u32  T1 <- [0x1000 + T2] if T3",
+        isa.ist(DType.I64, 0x2000, ts1=4, ts2=5):
+            "IST.i64  [0x2000 + T4] <- T5",
+        isa.irmw(DType.I64, 0x30, AluOp.ADD, ts1=6, ts2=7):
+            "IRMW.i64 [0x30 + T6] add= T7",
+        isa.sld(DType.F64, 0x40, td=8, rs1=0, rs2=1, rs3=2):
+            "SLD.f64  T8 <- [0x40 + (R0:R1:R2)]",
+        isa.sst(DType.F32, 0x50, ts=9, rs1=3, rs2=4, rs3=5):
+            "SST.f32  [0x50 + (R3:R4:R5)] <- T9",
+        isa.aluv(DType.I32, AluOp.LT, td=10, ts1=11, ts2=12):
+            "ALUV.i32 T10 <- T11 lt T12",
+        isa.alus(DType.U64, AluOp.SHR, td=13, ts=14, rs=6):
+            "ALUS.u64 T13 <- T14 shr R6",
+        isa.rng(td1=15, td2=16, ts1=17, ts2=18, rs1=7):
+            "RNG   (T15, T16) <- fuse[T17, T18) base=R7",
+    }
+    for instr, expect in cases.items():
+        assert disasm(instr) == expect
+
+
+def test_format_program():
+    pb = ProgramBuilder(DX100Config(tile_elems=64))
+    t = pb.sld(DType.I64, 0x100, 0, 64)
+    pb.wait(t)
+    text = format_program(pb.build())
+    assert "R0 <- 0" in text
+    assert "SLD.i64" in text
+    assert "wait(T0)" in text
+
+
+def test_format_timeline_shows_overlap():
+    import numpy as np
+    from repro.common import SystemConfig
+    from repro.cache import MemoryHierarchy
+    from repro.dram import DRAMSystem
+    from repro.dx100 import DX100, HostMemory
+    from repro.dx100.disasm import format_timeline
+
+    cfg = SystemConfig.dx100_system(tile_elems=2048)
+    dram = DRAMSystem(cfg.dram)
+    hier = MemoryHierarchy(cfg, dram)
+    mem = HostMemory(1 << 22)
+    dx = DX100(cfg, hier, dram, mem)
+    a = mem.place("A", np.arange(4096, dtype=np.uint32))
+    b = mem.place("B", np.arange(2048, dtype=np.uint32))
+    pb = ProgramBuilder(cfg.dx100)
+    t_b = pb.sld(DType.U32, b, 0, 2048)
+    t_p = pb.ild(DType.U32, a, t_b)
+    pb.wait(t_p)
+    dx.run_program(pb.build())
+    text = format_timeline(dx.records)
+    assert "SLD" in text and "ILD" in text and "#" in text
+    assert format_timeline([]) == "(no instructions executed)"

@@ -1,0 +1,42 @@
+"""Encoding boundary conditions."""
+
+import pytest
+
+from repro.common import AluOp, DType
+from repro.dx100 import decode, encode
+from repro.dx100 import isa
+
+
+def test_max_base_address():
+    instr = isa.ild(DType.U32, (1 << 64) - 64, td=0, ts1=1)
+    assert decode(encode(instr)) == instr
+
+
+def test_negative_base_rejected():
+    instr = isa.ild(DType.U32, -1, td=0, ts1=1)
+    with pytest.raises(ValueError):
+        encode(instr)
+
+
+def test_operand_62_is_maximum():
+    instr = isa.aluv(DType.I64, AluOp.ADD, td=62, ts1=62, ts2=62, tc=62)
+    assert decode(encode(instr)) == instr
+
+
+def test_absent_operands_survive_round_trip():
+    instr = isa.sld(DType.I64, 0x40, td=0, rs1=1, rs2=2, rs3=3)  # no tc
+    back = decode(encode(instr))
+    assert back.tc is None and back.ts2 is None
+
+
+def test_alu_instructions_have_no_base():
+    instr = isa.alus(DType.I64, AluOp.SHL, td=1, ts=2, rs=3)
+    back = decode(encode(instr))
+    assert back.base is None
+
+
+def test_every_dtype_and_op_code_round_trips():
+    for dtype in DType:
+        for op in AluOp:
+            instr = isa.aluv(dtype, op, td=1, ts1=2, ts2=3)
+            assert decode(encode(instr)) == instr

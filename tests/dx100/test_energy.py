@@ -1,0 +1,45 @@
+"""First-order energy model (the paper's Section 6.2 energy claim)."""
+
+import pytest
+
+from repro.common import DX100Config
+from repro.dx100.energy import EnergyReport, energy_estimate, energy_ratio
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import GatherFull, IntegerSort
+
+
+def test_energy_components_positive():
+    base = run_baseline(GatherFull(2048))
+    report = energy_estimate(base, cores=4)
+    assert report.core_dynamic_mj > 0
+    assert report.core_static_mj > 0
+    assert report.dram_mj > 0
+    assert report.dx100_mj == 0.0
+    assert report.total_mj == pytest.approx(
+        report.core_dynamic_mj + report.core_static_mj + report.dram_mj)
+
+
+def test_dx100_run_charges_accelerator_power():
+    dx = run_dx100(GatherFull(2048))
+    with_dx = energy_estimate(dx, cores=4, dx100_config=DX100Config())
+    without = energy_estimate(dx, cores=4)
+    assert with_dx.dx100_mj > 0
+    assert with_dx.total_mj > without.total_mj
+
+
+def test_offload_saves_energy_on_indirect_kernels():
+    """Fewer instructions + shorter runtime beat the added DX100 power."""
+    from repro.common import SystemConfig
+    base = run_baseline(IntegerSort(scale=1 << 14),
+                        SystemConfig.baseline_scaled(), warm=False)
+    dx = run_dx100(IntegerSort(scale=1 << 14),
+                   SystemConfig.dx100_scaled(), warm=False)
+    ratio = energy_ratio(base, dx)
+    assert ratio > 1.0
+
+
+def test_bigger_scratchpad_costs_more_energy():
+    dx = run_dx100(GatherFull(2048))
+    small = energy_estimate(dx, dx100_config=DX100Config(tile_elems=1024))
+    big = energy_estimate(dx, dx100_config=DX100Config(tile_elems=32768))
+    assert big.dx100_mj > small.dx100_mj

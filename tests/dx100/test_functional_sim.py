@@ -1,0 +1,120 @@
+"""FunctionalDX100: the reference executor's semantics and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.common import AluOp, DType, DX100Config
+from repro.dx100 import FunctionalDX100, HostMemory, ProgramBuilder
+from repro.dx100 import isa
+from repro.dx100.api import RegWrite, WaitTiles
+
+
+def fresh(tile=256):
+    cfg = DX100Config(tile_elems=tile)
+    mem = HostMemory(1 << 20)
+    return cfg, mem, FunctionalDX100(cfg, mem)
+
+
+def test_regwrite_and_sld():
+    cfg, mem, fx = fresh()
+    base = mem.place("A", np.arange(64, dtype=np.int64))
+    fx.run([RegWrite(0, 8), RegWrite(1, 32), RegWrite(2, 2),
+            isa.sld(DType.I64, base, td=0, rs1=0, rs2=1, rs3=2)])
+    assert fx.tiles[0].tolist() == list(range(8, 32, 2))
+
+
+def test_wait_is_noop_functionally():
+    cfg, mem, fx = fresh()
+    base = mem.place("A", np.arange(8, dtype=np.int64))
+    fx.run([RegWrite(0, 0), RegWrite(1, 8), RegWrite(2, 1),
+            isa.sld(DType.I64, base, td=0, rs1=0, rs2=1, rs3=2),
+            WaitTiles((0,))])
+    assert len(fx.tiles[0]) == 8
+
+
+def test_unknown_item_rejected():
+    cfg, mem, fx = fresh()
+    with pytest.raises(TypeError):
+        fx.run(["bogus"])
+
+
+def test_conditional_sst_scatters_only_taken():
+    cfg, mem, fx = fresh()
+    src = mem.place("S", np.arange(8, dtype=np.int64) + 100)
+    dst = mem.place("D", np.zeros(8, dtype=np.int64))
+    pb = ProgramBuilder(cfg)
+    t_s = pb.sld(DType.I64, src, 0, 8)
+    t_c = pb.alus(DType.I64, AluOp.GE, t_s, 104)   # last 4 taken
+    pb.sst(DType.I64, dst, t_s, 0, 8, tc=t_c)
+    fx.run(pb.build())
+    assert mem.view("D").tolist() == [0, 0, 0, 0, 104, 105, 106, 107]
+
+
+def test_aluv_and_rng_functional():
+    cfg, mem, fx = fresh()
+    a = mem.place("A", np.array([1, 2, 3, 4], dtype=np.int64))
+    b = mem.place("B", np.array([10, 1, 30, 2], dtype=np.int64))
+    pb = ProgramBuilder(cfg)
+    t_a = pb.sld(DType.I64, a, 0, 4)
+    t_b = pb.sld(DType.I64, b, 0, 4)
+    t_max = pb.aluv(DType.I64, AluOp.MAX, t_a, t_b)
+    t_outer, t_inner = pb.rng(t_a, t_b)   # ranges [a_i, b_i)
+    fx.run(pb.build())
+    assert fx.tiles[t_max].tolist() == [10, 2, 30, 4]
+    # Ranges: [1,10), [2,1)=empty, [3,30), [4,2)=empty.
+    assert fx.tiles[t_inner].tolist() == list(range(1, 10)) + \
+        list(range(3, 30))
+    assert set(fx.tiles[t_outer].tolist()) == {0, 2}
+
+
+def test_irmw_min_max_semantics():
+    cfg, mem, fx = fresh()
+    a = mem.place("A", np.full(4, 50, dtype=np.int64))
+    idx = mem.place("IDX", np.array([1, 1, 2], dtype=np.int64))
+    val = mem.place("VAL", np.array([10, 99, 80], dtype=np.int64))
+    pb = ProgramBuilder(cfg)
+    t_i = pb.sld(DType.I64, idx, 0, 3)
+    t_v = pb.sld(DType.I64, val, 0, 3)
+    pb.irmw(DType.I64, a, AluOp.MIN, t_i, t_v)
+    fx.run(pb.build())
+    assert mem.view("A").tolist() == [50, 10, 50, 50]
+
+
+def test_timing_and_functional_models_agree_on_random_programs():
+    """Fuzzish agreement check across dtypes and ops."""
+    from repro.common import SystemConfig
+    from repro.cache import MemoryHierarchy
+    from repro.dram import DRAMSystem
+    from repro.dx100 import DX100
+
+    rng = np.random.default_rng(0)
+    for trial in range(3):
+        n = 128
+        data = rng.integers(0, 1 << 16, 512).astype(np.uint32)
+        idx = rng.integers(0, 512, n).astype(np.int64)
+        vals = rng.integers(0, 100, n).astype(np.uint32)
+
+        def build(mem):
+            bases = (mem.place("A", data.copy()), mem.place("I", idx),
+                     mem.place("V", vals))
+            pb = ProgramBuilder(DX100Config(tile_elems=n))
+            t_i = pb.sld(DType.I64, bases[1], 0, n)
+            t_v = pb.sld(DType.U32, bases[2], 0, n)
+            pb.irmw(DType.U32, bases[0], AluOp.ADD, t_i, t_v)
+            t_g = pb.ild(DType.U32, bases[0], t_i)
+            pb.wait(t_g)
+            return pb.build()
+
+        mem1 = HostMemory(1 << 20)
+        prog1 = build(mem1)
+        FunctionalDX100(DX100Config(tile_elems=n), mem1).run(prog1)
+
+        cfg = SystemConfig.dx100_system(tile_elems=n)
+        dram = DRAMSystem(cfg.dram)
+        hier = MemoryHierarchy(cfg, dram)
+        mem2 = HostMemory(1 << 20)
+        dx = DX100(cfg, hier, dram, mem2)
+        prog2 = build(mem2)
+        dx.run_program(prog2)
+
+        assert mem1.view("A").tolist() == mem2.view("A").tolist()

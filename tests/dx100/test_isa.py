@@ -1,0 +1,66 @@
+"""ISA construction rules and the 192-bit encoding (Table 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import AluOp, DType
+from repro.dx100 import Opcode, decode, encode
+from repro.dx100 import isa
+
+
+def test_eight_opcodes():
+    assert len(Opcode) == 8
+
+
+def test_ild_shape():
+    i = isa.ild(DType.U32, base=0x1000, td=1, ts1=2, tc=3)
+    assert i.opcode == Opcode.ILD
+    assert i.source_tiles() == (2, 3)
+    assert i.dest_tiles() == (1,)
+    assert i.is_indirect and not i.is_stream
+
+
+def test_irmw_rejects_non_associative_ops():
+    with pytest.raises(ValueError):
+        isa.irmw(DType.U32, 0, AluOp.SUB, ts1=0, ts2=1)
+    isa.irmw(DType.U32, 0, AluOp.ADD, ts1=0, ts2=1)  # fine
+
+
+def test_rng_two_destinations():
+    i = isa.rng(td1=4, td2=5, ts1=1, ts2=2, rs1=0)
+    assert i.dest_tiles() == (4, 5)
+
+
+def test_encode_is_three_64bit_words():
+    words = encode(isa.sld(DType.F64, 0xABCD000, td=7, rs1=0, rs2=1, rs3=2))
+    assert len(words) == 3
+    assert all(0 <= w < (1 << 64) for w in words)
+    assert words[1] == 0xABCD000
+
+
+def test_encode_decode_roundtrip_all_forms():
+    cases = [
+        isa.ild(DType.U32, 0x1000, td=1, ts1=2, tc=3),
+        isa.ist(DType.I64, 0x2000, ts1=4, ts2=5),
+        isa.irmw(DType.F64, 0x3000, AluOp.ADD, ts1=6, ts2=7, tc=8),
+        isa.sld(DType.U32, 0x4000, td=9, rs1=0, rs2=1, rs3=2),
+        isa.sst(DType.F32, 0x5000, ts=10, rs1=3, rs2=4, rs3=5, tc=11),
+        isa.aluv(DType.I32, AluOp.LT, td=12, ts1=13, ts2=14),
+        isa.alus(DType.U64, AluOp.SHR, td=15, ts=16, rs=6),
+        isa.rng(td1=17, td2=18, ts1=19, ts2=20, rs1=7),
+    ]
+    for instr in cases:
+        assert decode(encode(instr)) == instr
+
+
+def test_operand_range_checked():
+    with pytest.raises(ValueError):
+        encode(isa.ild(DType.U32, 0, td=63, ts1=0))  # 63 reserved for "absent"
+
+
+@given(st.integers(min_value=0, max_value=62), st.integers(0, 62),
+       st.integers(0, 62), st.sampled_from(list(DType)))
+def test_roundtrip_property(td, ts1, tc, dtype):
+    instr = isa.ild(dtype, base=0x40000, td=td, ts1=ts1, tc=tc)
+    assert decode(encode(instr)) == instr

@@ -1,0 +1,98 @@
+"""Property-based cross-checks on the DX100 units (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import AluOp, DType, SystemConfig
+from repro.cache import MemoryHierarchy
+from repro.dram import DRAMSystem
+from repro.dx100 import DX100, HostMemory
+
+
+def fresh(tile_elems=1024):
+    cfg = SystemConfig.dx100_system(tile_elems=tile_elems)
+    dram = DRAMSystem(cfg.dram)
+    hier = MemoryHierarchy(cfg, dram)
+    mem = HostMemory(1 << 22)
+    return cfg, dram, hier, mem, DX100(cfg, hier, dram, mem)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=511), min_size=1,
+                max_size=200))
+def test_ild_equals_numpy_gather(indices):
+    cfg, dram, hier, mem, dx = fresh()
+    data = np.arange(512, dtype=np.int64) * 3 + 1
+    base = mem.place("A", data)
+    res = dx.indirect.execute("ld", base, DType.I64,
+                              np.array(indices, dtype=np.int64), None,
+                              None, 0)
+    assert res.values.tolist() == data[indices].tolist()
+    assert res.unique_lines <= len(set(i // 8 for i in indices))
+    assert res.coalescing >= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(-50, 50)),
+                min_size=1, max_size=150))
+def test_irmw_add_equals_numpy_scatter_add(pairs):
+    cfg, dram, hier, mem, dx = fresh()
+    base = mem.place("A", np.zeros(256, dtype=np.int64))
+    idx = np.array([p[0] for p in pairs], dtype=np.int64)
+    val = np.array([p[1] for p in pairs], dtype=np.int64)
+    dx.indirect.execute("rmw", base, DType.I64, idx, None, val, 0,
+                        op=AluOp.ADD)
+    expect = np.zeros(256, dtype=np.int64)
+    np.add.at(expect, idx, val)
+    assert mem.view("A").tolist() == expect.tolist()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=100),
+       st.lists(st.booleans(), min_size=100, max_size=100))
+def test_conditional_ild_only_loads_taken(indices, conds):
+    cfg, dram, hier, mem, dx = fresh()
+    data = np.arange(256, dtype=np.int64) + 1000
+    base = mem.place("A", data)
+    idx = np.array(indices, dtype=np.int64)
+    cond = np.array(conds[:len(idx)], dtype=np.int64)
+    res = dx.indirect.execute("ld", base, DType.I64, idx, cond, None, 0)
+    for i, (want, c) in enumerate(zip(idx, cond)):
+        expect = data[want] if c else 0
+        assert res.values[i] == expect
+    assert res.elements == int(cond.sum())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 400), st.integers(1, 7))
+def test_sld_strided_matches_numpy(n, step):
+    cfg, dram, hier, mem, dx = fresh()
+    data = np.arange(4096, dtype=np.int64)
+    base = mem.place("A", data)
+    hi = min(n * step, 4096)
+    res = dx.stream.load(base, DType.I64, 0, hi, step, None, 0)
+    assert res.values.tolist() == data[0:hi:step].tolist()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 1023), min_size=2, max_size=300))
+def test_timing_never_decreases_along_dependencies(indices):
+    """Scoreboard sanity: an instruction never finishes before it starts,
+    and dependent instructions never finish before their producers."""
+    cfg, dram, hier, mem, dx = fresh()
+    data = np.zeros(1024, dtype=np.int64)
+    b = np.array(indices, dtype=np.int64)
+    a_base = mem.place("A", np.arange(1024, dtype=np.int64))
+    b_base = mem.place("B", b)
+    from repro.dx100 import ProgramBuilder
+    pb = ProgramBuilder(cfg.dx100)
+    t_b = pb.sld(DType.I64, b_base, 0, len(b))
+    t_p = pb.ild(DType.I64, a_base, t_b)
+    pb.wait(t_p)
+    dx.run_program(pb.build())
+    for rec in dx.records:
+        assert rec.finish >= rec.start >= 0
+    sld_rec, ild_rec = dx.records
+    assert ild_rec.finish >= sld_rec.finish

@@ -1,0 +1,71 @@
+"""Cross-configuration metric invariants over the quick benchmark set.
+
+These are the harness-level sanity properties every run must satisfy,
+independent of which configuration wins.
+"""
+
+import pytest
+
+from repro.common import SystemConfig
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import QUICK_BENCHMARKS
+
+SUBSET = ["IS", "PR", "GZZ", "XRAGE"]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for name in SUBSET:
+        out[name] = {
+            "baseline": run_baseline(QUICK_BENCHMARKS[name](),
+                                     SystemConfig.baseline_scaled(),
+                                     warm=False),
+            "dx100": run_dx100(QUICK_BENCHMARKS[name](),
+                               SystemConfig.dx100_scaled(tile_elems=2048),
+                               warm=False),
+        }
+    return out
+
+
+def test_bandwidth_utilization_bounded(runs):
+    for name, pair in runs.items():
+        for r in pair.values():
+            assert 0.0 <= r.bandwidth_utilization <= 1.0, (name, r.config)
+
+
+def test_rbh_bounded(runs):
+    for pair in runs.values():
+        for r in pair.values():
+            assert 0.0 <= r.row_buffer_hit_rate <= 1.0
+
+
+def test_occupancy_within_buffer_capacity(runs):
+    for pair in runs.values():
+        for r in pair.values():
+            assert 0.0 <= r.request_buffer_occupancy <= 32.0
+
+
+def test_dram_bytes_consistent_with_requests(runs):
+    for pair in runs.values():
+        for r in pair.values():
+            assert r.dram_bytes == r.dram_requests * 64
+
+
+def test_dx100_reduces_core_instructions(runs):
+    for name, pair in runs.items():
+        assert pair["dx100"].instructions < pair["baseline"].instructions, \
+            name
+
+
+def test_dx100_raises_occupancy_and_rbh(runs):
+    for name, pair in runs.items():
+        base, dx = pair["baseline"], pair["dx100"]
+        assert dx.request_buffer_occupancy > base.request_buffer_occupancy
+        assert dx.row_buffer_hit_rate >= base.row_buffer_hit_rate
+
+
+def test_cycles_positive_and_finite(runs):
+    for pair in runs.values():
+        for r in pair.values():
+            assert 0 < r.cycles < 1 << 40

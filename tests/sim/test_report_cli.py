@@ -1,0 +1,76 @@
+"""Report formatting and the command-line runner."""
+
+import csv
+import io
+
+import pytest
+
+from repro.sim import run_baseline, run_dx100
+from repro.sim.report import comparison_table, single_run_summary, to_csv
+from repro.workloads import GatherFull
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def runs():
+    base = run_baseline(GatherFull(1024))
+    dx = run_dx100(GatherFull(1024))
+    return base, dx
+
+
+def test_csv_round_trip(runs, tmp_path):
+    base, dx = runs
+    path = tmp_path / "results.csv"
+    text = to_csv([base, dx], path)
+    assert path.read_text() == text
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["workload"] == "gather-full"
+    assert int(rows[0]["cycles"]) == base.cycles
+
+
+def test_comparison_table(runs):
+    base, dx = runs
+    table = comparison_table({"gather-full": {"baseline": base,
+                                              "dx100": dx}})
+    assert "gather-full" in table
+    assert "geomean speedup (dx100)" in table
+    assert "x" in table
+
+
+def test_single_run_summary(runs):
+    base, _ = runs
+    text = single_run_summary(base)
+    assert "gather-full" in text and "cycles" in text
+
+
+def test_bandwidth_utilization_is_physical(runs):
+    for r in runs:
+        assert 0.0 <= r.bandwidth_utilization <= 1.0
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "XRAGE" in out and "Spatter" in out
+
+
+def test_cli_area(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "scratchpad" in out and "TOTAL" in out
+
+
+def test_cli_run_quick(capsys, tmp_path):
+    csv_path = tmp_path / "out.csv"
+    code = main(["run", "XRAGE", "--quick", "--configs", "baseline",
+                 "dx100", "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "XRAGE" in out and "geomean" in out
+    assert csv_path.exists()
+
+
+def test_cli_run_rejects_unknown(capsys):
+    assert main(["run", "NOPE", "--quick"]) == 2
+    assert main(["run", "--quick"]) == 2

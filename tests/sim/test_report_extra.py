@@ -1,0 +1,19 @@
+"""Bar-chart renderer."""
+
+import pytest
+
+from repro.sim.report import bar_chart
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "2.00x" in lines[1]
+
+
+def test_bar_chart_empty_and_invalid():
+    assert bar_chart({}) == "(no data)"
+    with pytest.raises(ValueError):
+        bar_chart({"a": 0.0})

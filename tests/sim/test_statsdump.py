@@ -1,0 +1,49 @@
+"""Component-statistics dump."""
+
+import pytest
+
+from repro.common import SystemConfig
+from repro.sim import run_baseline, run_dx100
+from repro.sim.statsdump import dump_stats, format_stats, write_stats
+from repro.sim.system import SimSystem
+from repro.workloads import GatherFull
+
+
+def _run(dx=False):
+    cfg = (SystemConfig.dx100_system(tile_elems=1024) if dx
+           else SystemConfig.baseline())
+    system = SimSystem(cfg)
+    wl = GatherFull(1024)
+    wl.generate(system.hostmem)
+    if dx:
+        system.dx100.run_program(wl.dx100_schedule(cfg.dx100, 4))
+    else:
+        system.multicore.run(wl.baseline_traces(4))
+    system.dram.drain()
+    return system
+
+
+def test_dump_contains_all_components():
+    system = _run()
+    stats = dump_stats(system)
+    assert any(k.startswith("dram.ch0.") for k in stats)
+    assert any(k.startswith("cache.") for k in stats)
+    assert any(k.startswith("core0.") for k in stats)
+    assert "dram.row_buffer_hit_rate" in stats
+    assert stats["dram.total_bytes"] > 0
+
+
+def test_dump_includes_dx100_when_present():
+    system = _run(dx=True)
+    stats = dump_stats(system)
+    assert any(k.startswith("dx100.") for k in stats)
+    assert stats["dx100.instructions"] > 0
+
+
+def test_format_and_write(tmp_path):
+    system = _run()
+    text = format_stats(dump_stats(system))
+    assert "dram.ch0.serviced" in text
+    path = tmp_path / "stats.txt"
+    stats = write_stats(system, path)
+    assert path.read_text().count("\n") == len(stats)

@@ -1,0 +1,26 @@
+"""The runnable examples stay runnable (fast subset as subprocesses)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "compiler_demo.py"])
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "validated" in proc.stdout or "reference" in proc.stdout
+
+
+def test_all_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "graph_analytics.py", "database_join.py",
+            "compiler_demo.py", "mesh_gradient.py",
+            "bfs_full.py"} <= names

@@ -1,0 +1,53 @@
+"""Reproducibility: same seed -> identical inputs, traces, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.common import SystemConfig
+from repro.dx100 import HostMemory
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import QUICK_BENCHMARKS, IntegerSort
+
+
+def test_same_seed_same_data():
+    a, b = (IntegerSort(scale=1 << 10, bucket_space=1 << 16),
+            IntegerSort(scale=1 << 10, bucket_space=1 << 16))
+    m1, m2 = HostMemory(1 << 22), HostMemory(1 << 22)
+    a.generate(m1)
+    b.generate(m2)
+    assert np.array_equal(a.keys, b.keys)
+
+
+def test_different_seed_different_data():
+    a = IntegerSort(scale=1 << 10, seed=0, bucket_space=1 << 16)
+    b = IntegerSort(scale=1 << 10, seed=1, bucket_space=1 << 16)
+    m1, m2 = HostMemory(1 << 22), HostMemory(1 << 22)
+    a.generate(m1)
+    b.generate(m2)
+    assert not np.array_equal(a.keys, b.keys)
+
+
+def test_runs_are_deterministic():
+    r1 = run_baseline(IntegerSort(scale=1 << 11, bucket_space=1 << 18),
+                      SystemConfig.baseline_scaled(), warm=False)
+    r2 = run_baseline(IntegerSort(scale=1 << 11, bucket_space=1 << 18),
+                      SystemConfig.baseline_scaled(), warm=False)
+    assert r1.cycles == r2.cycles
+    assert r1.instructions == r2.instructions
+    assert r1.dram_requests == r2.dram_requests
+
+    d1 = run_dx100(IntegerSort(scale=1 << 11, bucket_space=1 << 18),
+                   SystemConfig.dx100_scaled(tile_elems=1024), warm=False)
+    d2 = run_dx100(IntegerSort(scale=1 << 11, bucket_space=1 << 18),
+                   SystemConfig.dx100_scaled(tile_elems=1024), warm=False)
+    assert d1.cycles == d2.cycles
+
+
+@pytest.mark.parametrize("name", ["BFS", "GZZI", "PRO"])
+def test_factories_produce_independent_instances(name):
+    a, b = QUICK_BENCHMARKS[name](), QUICK_BENCHMARKS[name]()
+    assert a is not b
+    m1, m2 = HostMemory(1 << 25), HostMemory(1 << 25)
+    a.generate(m1)
+    b.generate(m2)  # must not interfere with a's state
+    assert a.mem is m1 and b.mem is m2

@@ -1,0 +1,73 @@
+"""Graph generators: uniform and Kronecker (R-MAT) CSR."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gap import make_kron_csr, make_uniform_csr
+
+
+def test_uniform_csr_shape():
+    rng = np.random.default_rng(0)
+    h, adj = make_uniform_csr(1024, 15, rng)
+    assert len(h) == 1025
+    assert h[0] == 0 and h[-1] == len(adj)
+    assert (np.diff(h) >= 0).all()
+    assert adj.min() >= 0 and adj.max() < 1024
+    mean_deg = len(adj) / 1024
+    assert 12 < mean_deg < 18
+
+
+def test_kron_csr_is_valid():
+    rng = np.random.default_rng(1)
+    h, adj = make_kron_csr(scale=10, edge_factor=8, rng=rng)
+    nodes = 1 << 10
+    assert len(h) == nodes + 1
+    assert h[-1] == len(adj) == nodes * 8
+    assert (np.diff(h) >= 0).all()
+    assert adj.min() >= 0 and adj.max() < nodes
+
+
+def test_kron_degrees_are_power_law_ish():
+    """R-MAT graphs are skewed: the top 1% of nodes own far more than 1%
+    of the edges, unlike uniform graphs."""
+    rng = np.random.default_rng(2)
+    kh, _ = make_kron_csr(scale=12, edge_factor=8, rng=rng)
+    uh, _ = make_uniform_csr(1 << 12, 8, rng)
+
+    def top1_share(h):
+        deg = np.diff(h)
+        k = max(1, len(deg) // 100)
+        return np.sort(deg)[::-1][:k].sum() / deg.sum()
+
+    assert top1_share(kh) > 2.5 * top1_share(uh)
+
+
+def test_kron_has_isolated_nodes():
+    # Skew implies many nodes receive no out-edges at all.
+    rng = np.random.default_rng(3)
+    h, _ = make_kron_csr(scale=12, edge_factor=4, rng=rng)
+    assert (np.diff(h) == 0).sum() > 100
+
+
+def test_kron_deterministic_per_seed():
+    h1, a1 = make_kron_csr(8, 4, np.random.default_rng(7))
+    h2, a2 = make_kron_csr(8, 4, np.random.default_rng(7))
+    assert np.array_equal(h1, h2) and np.array_equal(a1, a2)
+
+
+def test_graph_workloads_accept_kron():
+    """PageRank runs on a Kronecker graph via dependency injection."""
+    from repro.common import SystemConfig
+    from repro.sim import run_dx100
+    from repro.workloads.gap import PageRank
+
+    class KronPR(PageRank):
+        def _make_graph(self, mem):
+            self.h, self.adj = make_kron_csr(12, 8, self.rng)
+            self.h_base = mem.place("H", self.h)
+            self.adj_base = mem.place("adj", self.adj)
+
+    wl = KronPR(scale=1 << 9, nodes=1 << 12)
+    result = run_dx100(wl, SystemConfig.dx100_scaled(tile_elems=2048),
+                       warm=False)
+    assert result.cycles > 0

@@ -1,0 +1,75 @@
+"""Microbenchmark workloads (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.common import DRAMConfig
+from repro.dram import AddressMapper
+from repro.dx100 import HostMemory
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import (
+    GatherAllMiss, GatherFull, GatherSPD, RMWAtomic, RMWNoAtom, Scatter,
+)
+
+
+def test_gather_full_validates_and_wins():
+    base = run_baseline(GatherFull(2048))
+    dx = run_dx100(GatherFull(2048))
+    assert dx.cycles < base.cycles
+
+
+def test_gather_spd_has_core_residual_instructions():
+    dx_spd = run_dx100(GatherSPD(2048))
+    dx_full = run_dx100(GatherFull(2048))
+    assert dx_spd.instructions > dx_full.instructions
+
+
+def test_rmw_atomics_ordering():
+    """Paper ordering: atomic baseline slowest, DX100 fastest."""
+    atomic = run_baseline(RMWAtomic(2048))
+    noatom = run_baseline(RMWNoAtom(2048))
+    dx = run_dx100(RMWAtomic(2048))
+    assert atomic.cycles > noatom.cycles
+    assert dx.cycles < noatom.cycles
+
+
+def test_scatter_single_core_baseline():
+    wl = Scatter(1024)
+    mem = HostMemory(1 << 22)
+    wl.generate(mem)
+    assert wl.single_core_baseline
+    assert len(wl.baseline_traces(1)) == 1
+    run_dx100(Scatter(1024))  # validates the IST result
+
+
+def test_allmiss_indices_are_unique_lines():
+    wl = GatherAllMiss(rows_per_bank=2)
+    mem = HostMemory(1 << 22)
+    wl.generate(mem)
+    mapper = AddressMapper(DRAMConfig())
+    lines = wl.addrs & ~63
+    assert len(np.unique(lines)) == len(lines)
+    # Exactly rows_per_bank rows used in every bank.
+    fields = mapper.map_arrays(wl.addrs)
+    assert len(np.unique(fields["row"])) == 2
+
+
+def test_allmiss_rbh_parameter_shapes_baseline():
+    low = run_baseline(GatherAllMiss(rbh=0.0, rows_per_bank=2))
+    high = run_baseline(GatherAllMiss(rbh=1.0, rows_per_bank=2))
+    assert high.row_buffer_hit_rate > low.row_buffer_hit_rate + 0.5
+
+
+def test_allmiss_dx100_flat_bandwidth():
+    a = run_dx100(GatherAllMiss(rbh=0.0, rows_per_bank=2))
+    b = run_dx100(GatherAllMiss(rbh=1.0, rows_per_bank=2))
+    assert abs(a.bandwidth_utilization - b.bandwidth_utilization) < 0.1
+
+
+def test_allmiss_validates_gather():
+    run_dx100(GatherAllMiss(rows_per_bank=2))  # raises on divergence
+
+
+def test_allmiss_rejects_bad_rbh():
+    with pytest.raises(ValueError):
+        GatherAllMiss(rbh=1.5)

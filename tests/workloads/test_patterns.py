@@ -1,0 +1,45 @@
+"""Table 1: every benchmark declares its access/condition/loop pattern."""
+
+import pytest
+
+from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+
+
+def test_twelve_main_benchmarks():
+    assert len(MAIN_BENCHMARKS) == 12
+    assert list(MAIN_BENCHMARKS) == [
+        "IS", "CG", "BFS", "PR", "BC", "PRH", "PRO",
+        "GZZ", "GZZI", "GZP", "GZPI", "XRAGE",
+    ]
+
+
+def test_quick_set_mirrors_main_set():
+    assert set(QUICK_BENCHMARKS) == set(MAIN_BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", list(MAIN_BENCHMARKS))
+def test_patterns_match_table1(name):
+    wl = QUICK_BENCHMARKS[name]()
+    assert wl.name == name
+    assert wl.pattern, f"{name} must declare its Table 1 pattern"
+    kind = {"IS": "RMW", "CG": "LD", "BFS": "ST", "PR": "RMW", "BC": "RMW",
+            "PRH": "ST", "PRO": "ST", "GZZ": "RMW", "GZZI": "LD",
+            "GZP": "RMW", "GZPI": "LD", "XRAGE": "ST"}[name]
+    assert wl.pattern.startswith(kind)
+
+
+@pytest.mark.parametrize("name", ["BFS", "BC", "GZZI", "GZPI"])
+def test_indirect_range_loop_workloads(name):
+    wl = QUICK_BENCHMARKS[name]()
+    assert "H[K[i]]" in wl.pattern
+
+
+@pytest.mark.parametrize("name", ["GZZ", "GZP", "GZZI", "GZPI", "BFS", "BC"])
+def test_conditional_workloads(name):
+    wl = QUICK_BENCHMARKS[name]()
+    assert "if" in wl.pattern
+
+
+def test_suites():
+    suites = {QUICK_BENCHMARKS[n]().suite for n in QUICK_BENCHMARKS}
+    assert suites == {"NAS", "GAP", "Hash-Join", "UME", "Spatter"}

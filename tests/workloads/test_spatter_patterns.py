@@ -1,0 +1,79 @@
+"""Spatter JSON pattern specs."""
+
+import numpy as np
+import pytest
+
+from repro.common import SystemConfig
+from repro.sim import run_baseline, run_dx100
+from repro.workloads.spatter_patterns import (
+    SpatterKernel, expand_spec, parse_pattern,
+)
+
+
+def test_parse_explicit_pattern():
+    p = parse_pattern([0, 4, 8, 100])
+    assert p.tolist() == [0, 4, 8, 100]
+
+
+def test_parse_uniform_shorthand():
+    p = parse_pattern("UNIFORM:8:3")
+    assert p.tolist() == [0, 3, 6, 9, 12, 15, 18, 21]
+
+
+def test_parse_ms1_shorthand():
+    p = parse_pattern("MS1:64:8", np.random.default_rng(0))
+    assert len(p) == 64
+    # Mostly stride-1: most consecutive deltas are exactly 1.
+    deltas = np.diff(p)
+    assert (deltas == 1).mean() > 0.8
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse_pattern("BOGUS:1:2")
+    with pytest.raises(ValueError):
+        parse_pattern("UNIFORM:8")
+    with pytest.raises(ValueError):
+        parse_pattern([])
+    with pytest.raises(ValueError):
+        parse_pattern([-1, 2])
+
+
+def test_expand_spec_with_delta_and_count():
+    kernel, idx = expand_spec({"kernel": "gather",
+                               "pattern": [0, 2], "delta": 10, "count": 3})
+    assert kernel == "gather"
+    assert idx.tolist() == [0, 2, 10, 12, 20, 22]
+
+
+def test_expand_spec_from_json_string():
+    kernel, idx = expand_spec('{"kernel": "scatter", "pattern": [1, 5]}')
+    assert kernel == "scatter"
+    assert idx.tolist() == [1, 5]
+
+
+def test_expand_spec_errors():
+    with pytest.raises(ValueError):
+        expand_spec({"kernel": "rmw", "pattern": [0]})
+    with pytest.raises(ValueError):
+        expand_spec({"pattern": [0], "count": 0})
+
+
+@pytest.mark.parametrize("kernel", ["gather", "scatter"])
+def test_spec_workload_runs_and_validates(kernel):
+    spec = {"kernel": kernel, "pattern": "MS1:512:16", "delta": 600,
+            "count": 4}
+    wl = SpatterKernel(spec)
+    result = run_dx100(wl, SystemConfig.dx100_scaled(tile_elems=1024),
+                       warm=False)
+    assert result.cycles > 0
+
+
+def test_spec_workload_baseline_vs_dx100():
+    spec = {"kernel": "scatter", "pattern": "MS1:2048:16",
+            "delta": 40_000, "count": 8}
+    base = run_baseline(SpatterKernel(spec),
+                        SystemConfig.baseline_scaled(), warm=False)
+    dx = run_dx100(SpatterKernel(spec),
+                   SystemConfig.dx100_scaled(tile_elems=4096), warm=False)
+    assert dx.cycles < base.cycles
