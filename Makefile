@@ -1,14 +1,22 @@
 # Convenience targets for the DX100 reproduction.
 
 PYTHON ?= python
+# `python -m repro` targets need the package importable without an install.
+RUN_REPRO = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: install test bench bench-quick figures examples clean
+.PHONY: install test audit bench bench-quick figures examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+	$(RUN_REPRO) run IS PR --quick --audit
+
+# Replay the quick benchmark suite under every configuration with the
+# JEDEC command-stream auditor attached; fails on any timing violation.
+audit:
+	$(RUN_REPRO) run --all --quick --audit --configs baseline dmp dx100
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.common import SystemConfig
 from repro.dx100.area import area_power
@@ -48,6 +49,10 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--configs", nargs="+", default=["baseline", "dx100"],
                      choices=sorted(CONFIG_BUILDERS))
     run.add_argument("--cores", type=int, default=4)
+    run.add_argument("--audit", action="store_true",
+                     help="attach the JEDEC command-stream auditor to every "
+                          "memory channel and fail if any timing constraint "
+                          "is violated")
     run.add_argument("--csv", metavar="PATH",
                      help="also write raw metrics as CSV")
     run.add_argument("--stats-dir", metavar="DIR",
@@ -84,6 +89,9 @@ def cmd_run(args) -> int:
         runs = {}
         for config_name in args.configs:
             config = CONFIG_BUILDERS[config_name](args.cores)
+            if args.audit:
+                config = replace(config,
+                                 dram=replace(config.dram, audit=True))
             wl = registry[name]()
             if config_name == "dx100":
                 runs[config_name] = run_dx100(wl, config, warm=False)
@@ -112,6 +120,18 @@ def cmd_run(args) -> int:
     if args.csv:
         to_csv(flat, args.csv)
         print(f"\nraw metrics written to {args.csv}")
+    if args.audit:
+        commands = sum(r.extra.get("audit_commands", 0) for r in flat)
+        violations = sum(r.extra.get("audit_violations", 0) for r in flat)
+        print(f"\naudit: {int(commands)} DRAM commands checked, "
+              f"{int(violations)} timing violation(s)")
+        if violations:
+            for r in flat:
+                if r.extra.get("audit_violations"):
+                    print(f"--- {r.workload} [{r.config}] ---",
+                          file=sys.stderr)
+                    print(r.extra.get("audit_report", ""), file=sys.stderr)
+            return 1
     return 0
 
 

@@ -105,6 +105,7 @@ class DRAMConfig:
     request_buffer: int = 32      # per channel (Table 3)
     scheduler: str = "frfcfs"     # or "fcfs"
     page_policy: str = "open"     # or "closed" (auto-precharge)
+    audit: bool = False           # attach a JEDEC CommandAuditor per channel
     timing: DDR4Timing = field(default_factory=DDR4Timing)
 
     @property

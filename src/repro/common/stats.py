@@ -16,6 +16,8 @@ class Stats:
     """Named counters with a few derived-metric helpers."""
 
     counters: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    mins: dict[str, float] = field(default_factory=dict)
+    maxs: dict[str, float] = field(default_factory=dict)
     _wsum: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     _wweight: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     hists: dict[str, dict[int, int]] = field(
@@ -24,6 +26,22 @@ class Stats:
 
     def add(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] += amount
+
+    def note_min(self, name: str, value: float) -> None:
+        """Track a running minimum (e.g. first request arrival).
+
+        Unlike ``add`` counters, min/max trackers merge across components
+        by min/max, not by summation.
+        """
+        cur = self.mins.get(name)
+        if cur is None or value < cur:
+            self.mins[name] = value
+
+    def note_max(self, name: str, value: float) -> None:
+        """Track a running maximum (e.g. last request finish)."""
+        cur = self.maxs.get(name)
+        if cur is None or value > cur:
+            self.maxs[name] = value
 
     def observe(self, name: str, value: float, weight: float = 1.0) -> None:
         """Accumulate a weighted average (e.g. occupancy over time)."""
@@ -34,7 +52,13 @@ class Stats:
         self.hists[name][key] += amount
 
     def get(self, name: str, default: float = 0.0) -> float:
-        return self.counters.get(name, default)
+        if name in self.counters:
+            return self.counters[name]
+        if name in self.maxs:
+            return self.maxs[name]
+        if name in self.mins:
+            return self.mins[name]
+        return default
 
     def mean(self, name: str, default: float = 0.0) -> float:
         w = self._wweight.get(name, 0.0)
@@ -51,6 +75,10 @@ class Stats:
     def merge(self, other: "Stats") -> None:
         for k, v in other.counters.items():
             self.counters[k] += v
+        for k, v in other.mins.items():
+            self.note_min(k, v)
+        for k, v in other.maxs.items():
+            self.note_max(k, v)
         for k in other._wsum:
             self._wsum[k] += other._wsum[k]
             self._wweight[k] += other._wweight[k]
@@ -60,6 +88,8 @@ class Stats:
 
     def as_dict(self) -> dict[str, float]:
         out = dict(self.counters)
+        out.update(self.mins)
+        out.update(self.maxs)
         for k in self._wweight:
             out[f"{k}:mean"] = self.mean(k)
         return out

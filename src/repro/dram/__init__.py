@@ -1,6 +1,8 @@
 """DDR4 DRAM substrate: address mapping, bank timing, FR-FCFS controllers."""
 
 from repro.dram.address import DEFAULT_ORDER, AddressMapper
+from repro.dram.audit import (CommandAuditor, TimingViolationError,
+                              Violation, audit_log)
 from repro.dram.bank import BankState, ChannelBusState, RankState
 from repro.dram.controller import MemoryController
 from repro.dram.scheduler import FCFS, FRFCFS, make_scheduler
@@ -11,10 +13,14 @@ __all__ = [
     "AddressMapper",
     "BankState",
     "ChannelBusState",
+    "CommandAuditor",
     "FCFS",
     "FRFCFS",
     "DRAMSystem",
     "MemoryController",
     "RankState",
+    "TimingViolationError",
+    "Violation",
+    "audit_log",
     "make_scheduler",
 ]

@@ -45,10 +45,36 @@ class MemoryController:
         self.time = 0
         self.stats = Stats()
         self._last_occ_time = 0
-        # Optional command trace for timing-legality audits:
-        # (kind, cycle, (channel, rank, bankgroup, bank), row) tuples.
-        self.record_commands = False
+        # Command-stream observers: each is called as
+        # ``obs(kind, cycle, (channel, rank, bankgroup, bank), row)`` at the
+        # moment a command's issue cycle is decided.  The legality auditor
+        # (:class:`repro.dram.audit.CommandAuditor`) and the legacy
+        # ``command_log`` recorder both attach here.
+        self.command_observers: list = []
         self.command_log: list[tuple] = []
+
+    # ------------------------------------------------------------- observers
+
+    @property
+    def record_commands(self) -> bool:
+        """Whether commands are appended to ``command_log`` (legacy API)."""
+        return self._record_command in self.command_observers
+
+    @record_commands.setter
+    def record_commands(self, value: bool) -> None:
+        recording = self.record_commands
+        if value and not recording:
+            self.command_observers.append(self._record_command)
+        elif not value and recording:
+            self.command_observers.remove(self._record_command)
+
+    def _record_command(self, kind: str, cycle: int, bank: tuple,
+                        row: int) -> None:
+        self.command_log.append((kind, cycle, bank, row))
+
+    def _emit(self, kind: str, cycle: int, coord: DRAMCoord) -> None:
+        for obs in self.command_observers:
+            obs(kind, cycle, coord.flat_bank, coord.row)
 
     # ------------------------------------------------------------- producers
 
@@ -143,18 +169,14 @@ class MemoryController:
                 self.stats.add("row_conflicts")
                 t_pre = max(earliest, bank.pre_ready)
                 bank.precharge(t_pre, timing)
-                if self.record_commands:
-                    self.command_log.append(
-                        ("PRE", t_pre, coord.flat_bank, coord.row))
+                self._emit("PRE", t_pre, coord)
             else:
                 self.stats.add("row_empty")
             t_act = max(earliest, bank.act_ready,
                         rank.earliest_act(coord.bankgroup, timing))
             bank.activate(coord.row, t_act, timing)
             rank.record_act(coord.bankgroup, t_act)
-            if self.record_commands:
-                self.command_log.append(
-                    ("ACT", t_act, coord.flat_bank, coord.row))
+            self._emit("ACT", t_act, coord)
             t_col_min = bank.col_ready
 
         t_col = max(
@@ -162,17 +184,7 @@ class MemoryController:
             self.bus.earliest_col(coord.bankgroup, req.is_write, timing),
         )
         self.bus.record_col(coord.bankgroup, t_col, req.is_write, timing)
-        if self.record_commands:
-            self.command_log.append(
-                ("WR" if req.is_write else "RD", t_col, coord.flat_bank,
-                 coord.row))
-        if self.config.page_policy == "closed":
-            # Auto-precharge (RDA/WRA): close the row as soon as legal.
-            t_pre = bank.pre_ready
-            bank.precharge(t_pre, timing)
-            if self.record_commands:
-                self.command_log.append(("PRE", t_pre, coord.flat_bank,
-                                         coord.row))
+        self._emit("WR" if req.is_write else "RD", t_col, coord)
         if req.is_write:
             bank.column_write(t_col, timing)
             req.finish = t_col + timing.tCWL + timing.tBL
@@ -180,16 +192,20 @@ class MemoryController:
             bank.column_read(t_col, timing)
             req.finish = t_col + timing.tCL + timing.tBL
         req.start = t_col
+        if self.config.page_policy == "closed":
+            # Auto-precharge (RDA/WRA): close the row as soon as legal.
+            # Must follow column_read/column_write so pre_ready reflects
+            # the column command's tRTP / tWR recovery window.
+            t_pre = bank.pre_ready
+            bank.precharge(t_pre, timing)
+            self._emit("PRE", t_pre, coord)
 
         self._note_occupancy(t_col)
         self.time = max(self.time, t_col)
         self.stats.add("serviced")
         self.stats.add("bytes", self.config.line_bytes)
-        if self.stats.get("first_arrival", -1.0) < 0:
-            self.stats.counters["first_arrival"] = req.arrival
-        self.stats.counters["last_finish"] = max(
-            self.stats.get("last_finish"), req.finish
-        )
+        self.stats.note_min("first_arrival", req.arrival)
+        self.stats.note_max("last_finish", req.finish)
 
     # ------------------------------------------------------------- metrics
 

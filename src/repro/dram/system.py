@@ -6,20 +6,45 @@ from repro.common.config import CYCLE_NS, DRAMConfig
 from repro.common.stats import Stats
 from repro.common.types import DRAMRequest
 from repro.dram.address import AddressMapper
+from repro.dram.audit import CommandAuditor
 from repro.dram.controller import MemoryController
 
 
 class DRAMSystem:
-    """All memory channels behind a single enqueue/complete interface."""
+    """All memory channels behind a single enqueue/complete interface.
+
+    ``audit=True`` (or ``config.audit``) attaches one
+    :class:`~repro.dram.audit.CommandAuditor` to every channel's command
+    stream, checking the full JEDEC constraint set online; see
+    :meth:`audit_violations` / :meth:`assert_audit_clean`.
+    """
 
     def __init__(self, config: DRAMConfig | None = None,
-                 mapper: AddressMapper | None = None) -> None:
+                 mapper: AddressMapper | None = None,
+                 audit: bool | None = None) -> None:
         self.config = config or DRAMConfig()
         self.mapper = mapper or AddressMapper(self.config)
         self.controllers = [
             MemoryController(ch, self.config, self.mapper)
             for ch in range(self.config.channels)
         ]
+        self.auditor: CommandAuditor | None = None
+        if self.config.audit if audit is None else audit:
+            self.auditor = CommandAuditor(self.config.timing)
+            for ctrl in self.controllers:
+                self.auditor.attach(ctrl)
+
+    # ------------------------------------------------------------- auditing
+
+    def audit_violations(self) -> list:
+        """Timing violations recorded so far (empty when not auditing)."""
+        return [] if self.auditor is None else self.auditor.violations
+
+    def assert_audit_clean(self) -> None:
+        """Raise :class:`~repro.dram.audit.TimingViolationError` if the
+        auditor saw any illegal command."""
+        if self.auditor is not None:
+            self.auditor.assert_clean()
 
     def channel_of(self, addr: int) -> int:
         return self.mapper.map(addr).channel

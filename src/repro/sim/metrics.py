@@ -36,6 +36,13 @@ def collect(system: SimSystem, workload: str, config_name: str,
     system.dram.drain()
     # The run is not over until fire-and-forget write traffic lands.
     cycles = max(int(cycles), system.dram.last_finish())
+    extra = dict(extra or {})
+    if system.dram.auditor is not None:
+        auditor = system.dram.auditor
+        extra["audit_commands"] = float(auditor.commands_seen)
+        extra["audit_violations"] = float(auditor.violation_count)
+        if not auditor.ok:
+            extra["audit_report"] = auditor.report()
     dram_stats = system.dram.merged_stats()
     hier_stats = system.hierarchy.stats
     kilo = max(instructions, 1.0) / 1000.0
@@ -52,5 +59,5 @@ def collect(system: SimSystem, workload: str, config_name: str,
         llc_mpki=misses / kilo,
         dram_bytes=dram_stats.get("bytes"),
         dram_requests=dram_stats.get("requests"),
-        extra=extra or {},
+        extra=extra,
     )

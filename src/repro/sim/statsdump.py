@@ -19,6 +19,9 @@ def dump_stats(system: SimSystem) -> dict[str, float]:
     def put(prefix: str, stats) -> None:
         for name, value in stats.counters.items():
             out[f"{prefix}.{name}"] = float(value)
+        for store in (stats.mins, stats.maxs):
+            for name, value in store.items():
+                out[f"{prefix}.{name}"] = float(value)
         for name in stats._wweight:
             out[f"{prefix}.{name}.mean"] = stats.mean(name)
 

@@ -15,9 +15,10 @@ class SimSystem:
     """DRAM + caches + cores (+ DX100 / + DMP) behind one object."""
 
     def __init__(self, config: SystemConfig,
-                 mem_bytes: int = 1 << 26) -> None:
+                 mem_bytes: int = 1 << 26,
+                 audit: bool | None = None) -> None:
         self.config = config
-        self.dram = DRAMSystem(config.dram)
+        self.dram = DRAMSystem(config.dram, audit=audit)
         self.hierarchy = MemoryHierarchy(config, self.dram)
         self.hostmem = HostMemory(mem_bytes)
         self.multicore = Multicore(config, self.hierarchy, self.dram)

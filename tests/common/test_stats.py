@@ -37,6 +37,35 @@ def test_merge_combines_everything():
     assert a.hists["h"][5] == 3
 
 
+def test_min_max_trackers():
+    s = Stats()
+    s.note_min("first", 10)
+    s.note_min("first", 5)
+    s.note_min("first", 7)
+    s.note_max("last", 10)
+    s.note_max("last", 30)
+    s.note_max("last", 20)
+    assert s.get("first") == 5
+    assert s.get("last") == 30
+    assert s.get("absent", default=-1.0) == -1.0
+
+
+def test_merge_min_max_not_summed():
+    """first_arrival/last_finish must merge as min/max across channels,
+    not as sums (the bug the per-channel Stats merge used to have)."""
+    a, b = Stats(), Stats()
+    a.note_min("first_arrival", 100)
+    b.note_min("first_arrival", 40)
+    a.note_max("last_finish", 500)
+    b.note_max("last_finish", 900)
+    a.merge(b)
+    assert a.get("first_arrival") == 40
+    assert a.get("last_finish") == 900
+    d = a.as_dict()
+    assert d["first_arrival"] == 40
+    assert d["last_finish"] == 900
+
+
 def test_as_dict_includes_means():
     s = Stats()
     s.add("n", 2)

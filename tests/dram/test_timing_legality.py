@@ -1,25 +1,29 @@
 """JEDEC timing-legality audit of the controller's command schedule.
 
-Property-based: random request mixes are serviced with command recording
-on, and the resulting ACT/PRE/RD/WR schedule is checked against every
-constraint the model claims to honour.  This is the request-granular
-model's substitute for a cycle-accurate simulator's assertion machinery.
+Property-based: random request mixes are serviced with the streaming
+:class:`~repro.dram.audit.CommandAuditor` attached, and the resulting
+ACT/PRE/RD/WR schedule is checked against every constraint the model
+claims to honour.  This is the request-granular model's substitute for a
+cycle-accurate simulator's assertion machinery.
+
+The legality rules live in ``repro.dram.audit`` (tRRD/tFAW correctly
+scoped per rank, not per channel); :func:`check_legality` remains as a
+thin wrapper over the auditor for recorded logs.
 """
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common import DDR4Timing, DRAMConfig, DRAMRequest
-from repro.dram import AddressMapper, MemoryController
+from repro.dram import AddressMapper, CommandAuditor, MemoryController
 
 T = DDR4Timing()
 
 
-def run_commands(addr_writes, buffer=32):
-    cfg = DRAMConfig(channels=1, request_buffer=buffer)
+def run_commands(addr_writes, buffer=32, **cfg_kwargs):
+    cfg = DRAMConfig(channels=1, request_buffer=buffer, **cfg_kwargs)
     mapper = AddressMapper(cfg)
     ctrl = MemoryController(0, cfg, mapper)
     ctrl.record_commands = True
@@ -29,52 +33,11 @@ def run_commands(addr_writes, buffer=32):
     return ctrl.command_log
 
 
-def check_legality(log):
-    """Assert every pairwise JEDEC constraint on a command log."""
-    per_bank: dict = {}
-    acts = []
-    cols = []
-    for kind, t, bank, row in log:
-        state = per_bank.setdefault(bank, {"act": None, "pre": None,
-                                           "cols": [], "open": None})
-        if kind == "ACT":
-            if state["act"] is not None:
-                assert t - state["act"] >= T.tRC, "tRC violated"
-            if state["pre"] is not None:
-                assert t - state["pre"] >= T.tRP, "tRP violated"
-            state["act"] = t
-            state["open"] = row
-            acts.append((t, bank))
-        elif kind == "PRE":
-            assert state["act"] is not None, "PRE before any ACT"
-            assert t - state["act"] >= T.tRAS, "tRAS violated"
-            for col_t, col_kind in state["cols"]:
-                if col_kind == "RD":
-                    assert t - col_t >= T.tRTP, "tRTP violated"
-                else:
-                    assert t - col_t >= T.tCWL + T.tBL + T.tWR, \
-                        "tWR violated"
-            state["pre"] = t
-            state["cols"] = []
-            state["open"] = None
-        else:  # RD / WR
-            assert state["open"] == row, "column to a closed/wrong row"
-            assert t - state["act"] >= T.tRCD, "tRCD violated"
-            state["cols"].append((t, kind))
-            cols.append((t, bank, kind))
-    # Channel-level column-to-column spacing.
-    cols.sort()
-    for (t1, b1, k1), (t2, b2, k2) in zip(cols, cols[1:]):
-        bg1, bg2 = b1[2], b2[2]
-        need = T.tCCD_L if bg1 == bg2 else T.tCCD_S
-        assert t2 - t1 >= need, "tCCD violated"
-    # Rank-level activate pacing.
-    acts.sort()
-    for (t1, b1), (t2, b2) in zip(acts, acts[1:]):
-        need = T.tRRD_L if b1[2] == b2[2] else T.tRRD_S
-        assert t2 - t1 >= need, "tRRD violated"
-    for i in range(len(acts) - 4):
-        assert acts[i + 4][0] - acts[i][0] >= T.tFAW, "tFAW violated"
+def check_legality(log, timing=None):
+    """Assert every JEDEC constraint on a command log (auditor-backed)."""
+    auditor = CommandAuditor(timing or T)
+    auditor.check_log(log)
+    auditor.assert_clean()
 
 
 def test_streaming_schedule_is_legal():
@@ -102,6 +65,41 @@ def test_mixed_read_write_schedule_is_legal():
        st.integers(min_value=1, max_value=64))
 def test_any_schedule_is_legal(reqs, buffer):
     log = run_commands([(a, w) for a, w in reqs], buffer=buffer)
+    check_legality(log)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, (1 << 22) - 1), st.booleans()),
+                min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=64))
+def test_closed_page_schedule_is_legal(reqs, buffer):
+    """The closed-page auto-precharge path honours tRTP/tWR recovery.
+
+    Regression cover for the bug where the auto-precharge read
+    ``pre_ready`` *before* the column command updated it, issuing PRE in
+    violation of tWR on every write."""
+    log = run_commands([(a, w) for a, w in reqs], buffer=buffer,
+                       page_policy="closed")
+    check_legality(log)
+
+
+def test_closed_page_write_recovery_regression():
+    """8 alternating R/W to distinct rows: the seed model issued 4 PREs
+    inside the tWR window here."""
+    log = run_commands([(i * 4096, i % 2 == 1) for i in range(8)],
+                       page_policy="closed")
+    check_legality(log)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, (1 << 24) - 1), st.booleans()),
+                min_size=1, max_size=200),
+       st.sampled_from(["open", "closed"]))
+def test_multirank_schedule_is_legal(reqs, page_policy):
+    """tRRD/tFAW are per rank; a two-rank channel must still be legal
+    (and is *allowed* to activate faster across ranks)."""
+    log = run_commands([(a, w) for a, w in reqs], ranks=2,
+                       page_policy=page_policy)
     check_legality(log)
 
 
