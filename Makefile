@@ -1,10 +1,13 @@
 # Convenience targets for the DX100 reproduction.
 
 PYTHON ?= python
+JOBS ?=
 # `python -m repro` targets need the package importable without an install.
 RUN_REPRO = PYTHONPATH=src $(PYTHON) -m repro
+SWEEP_JOBS = $(if $(JOBS),--jobs $(JOBS),)
 
-.PHONY: install test audit bench bench-quick figures examples clean
+.PHONY: install test audit sweep sweep-quick golden-check golden-update \
+        bench bench-quick figures examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,11 +21,29 @@ test:
 audit:
 	$(RUN_REPRO) run --all --quick --audit --configs baseline dmp dx100
 
+# Parallel, content-addressed-cached benchmark x configuration grid
+# (results/sweep.json + BENCH_mainsweep.json).  JOBS=N to pin workers.
+sweep:
+	$(RUN_REPRO) sweep $(SWEEP_JOBS)
+
+sweep-quick:
+	$(RUN_REPRO) sweep --quick $(SWEEP_JOBS)
+
+# Golden-metrics regression harness (tests/golden/quick_suite.json).
+golden-check:
+	$(RUN_REPRO) sweep --check-golden $(SWEEP_JOBS)
+
+golden-update:
+	$(RUN_REPRO) sweep --update-golden $(SWEEP_JOBS)
+
+# Figure benches consume the same sweep executor via benchmarks/mainsweep.py,
+# so they inherit the worker pool and the run cache (REPRO_JOBS,
+# REPRO_NO_CACHE, REPRO_CACHE_DIR).
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-quick:
-	REPRO_QUICK=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_QUICK=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 figures: bench
 	@echo "figure tables written to results/"
@@ -35,5 +56,5 @@ examples:
 	$(PYTHON) examples/mesh_gradient.py
 
 clean:
-	rm -rf results .pytest_cache .benchmarks
+	rm -rf results .pytest_cache .benchmarks BENCH_mainsweep.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -4,16 +4,29 @@ Runs the 12 paper benchmarks under the baseline, DMP, and DX100
 configurations (scaled presets, see DESIGN.md) exactly once per pytest
 session and caches the results for every figure's bench to consume.
 
-Set ``REPRO_QUICK=1`` to use the reduced QUICK_BENCHMARKS sizes.
+The heavy lifting lives in :mod:`repro.sim.sweep`: runs fan out over
+``multiprocessing`` workers and land in a content-addressed on-disk cache
+(``results/.runcache``), so an unchanged model re-runs nothing and every
+figure bench inherits parallelism and caching for free.  Each sweep also
+writes ``results/sweep.json`` and the ``BENCH_mainsweep.json``
+perf-trajectory record.
+
+Environment knobs:
+
+* ``REPRO_QUICK=1``    — use the reduced QUICK_BENCHMARKS sizes;
+* ``REPRO_JOBS=N``     — worker processes (default: CPU count);
+* ``REPRO_NO_CACHE=1`` — always re-simulate (skip the run cache);
+* ``REPRO_CACHE_DIR``  — override the cache location.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
-from repro.common import SystemConfig
-from repro.sim import RunResult, run_baseline, run_dx100
+from repro.sim import RunResult
+from repro.sim.sweep import run_main_sweep, write_sweep_records
 from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -31,24 +44,25 @@ def get_results() -> dict[str, dict[str, RunResult]]:
     """name -> {"baseline": ..., "dmp": ..., "dx100": ...}."""
     global _cache
     if _cache is None:
-        _cache = {}
-        for name, factory in benchmark_set().items():
-            runs = {
-                "baseline": run_baseline(
-                    factory(), SystemConfig.baseline_scaled(), warm=False),
-                "dmp": run_baseline(
-                    factory(), SystemConfig.dmp_scaled(), warm=False),
-                "dx100": run_dx100(
-                    factory(), SystemConfig.dx100_scaled(), warm=False),
-            }
-            _cache[name] = runs
+        outcome = run_main_sweep(
+            quick=bool(os.environ.get("REPRO_QUICK")),
+            cache=not os.environ.get("REPRO_NO_CACHE"),
+        )
+        write_sweep_records(outcome, RESULTS_DIR)
+        _cache = outcome.nested()
     return _cache
 
 
-def record(name: str, lines: list[str]) -> None:
-    """Write a figure's table to results/<name>.txt and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def record(name: str, lines: list[str], data: dict | None = None) -> None:
+    """Write a figure's table to results/<name>.txt (plus a machine-readable
+    results/<name>.json) and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     text = "\n".join(lines) + "\n"
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    payload = {"figure": name, "lines": lines}
+    if data is not None:
+        payload["data"] = data
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n=== {name} ===")
     print(text)

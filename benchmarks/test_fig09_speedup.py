@@ -23,7 +23,8 @@ def test_fig09_speedup_over_baseline(benchmark):
     gm = geomean(list(speedups.values()))
     lines = bar_chart(speedups).splitlines()
     lines.append(f"{'geomean':>10s} | {gm:.2f}x   (paper: 2.6x)")
-    record("fig09_speedup", lines)
+    record("fig09_speedup", lines,
+           data={"speedups": speedups, "geomean": gm, "paper_geomean": 2.6})
 
     # DX100 wins on every benchmark.
     assert all(s > 1.0 for s in speedups.values()), speedups

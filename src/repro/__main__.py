@@ -5,6 +5,8 @@ Usage::
     python -m repro list                      # available benchmarks
     python -m repro run IS PR --configs baseline dx100
     python -m repro run --all --quick --csv results/results.csv
+    python -m repro sweep --quick --jobs 4    # parallel + cached grid
+    python -m repro sweep --update-golden     # refresh golden metrics
     python -m repro area                      # Table 4
 
 Each run prints a comparison table; ``--csv`` additionally writes the raw
@@ -57,6 +59,41 @@ def _parser() -> argparse.ArgumentParser:
                      help="also write raw metrics as CSV")
     run.add_argument("--stats-dir", metavar="DIR",
                      help="write a full gem5-style stats dump per run")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the benchmark x configuration grid in parallel, backed "
+             "by the content-addressed run cache",
+    )
+    sweep.add_argument("benchmarks", nargs="*",
+                       help="benchmark names (default: all 12)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="use the reduced dataset sizes")
+    sweep.add_argument("--configs", nargs="+",
+                       default=["baseline", "dmp", "dx100"],
+                       choices=sorted(CONFIG_BUILDERS))
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or the "
+                            "CPU count; 1 = strictly serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="re-simulate everything, ignoring the run cache")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="run-cache location (default: results/.runcache "
+                            "or $REPRO_CACHE_DIR)")
+    sweep.add_argument("--json", metavar="PATH",
+                       help="where to write the structured sweep record "
+                            "(default: results/sweep.json)")
+    sweep.add_argument("--prune-cache", action="store_true",
+                       help="first delete cache entries from older model "
+                            "versions")
+    sweep.add_argument("--update-golden", action="store_true",
+                       help="re-run the quick suite under all three configs "
+                            "and rewrite tests/golden/quick_suite.json "
+                            "(after an intentional model change)")
+    sweep.add_argument("--check-golden", action="store_true",
+                       help="diff the quick suite against "
+                            "tests/golden/quick_suite.json; exit 1 on any "
+                            "mismatch")
 
     sub.add_parser("area", help="print the Table 4 area/power breakdown")
     return parser
@@ -135,6 +172,70 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Parallel, cached sweep over the benchmark x configuration grid."""
+    from pathlib import Path
+
+    from repro.sim.sweep import (
+        GOLDEN_PATH, RunCache, diff_golden, golden_snapshot, load_golden,
+        run_main_sweep, write_golden, write_sweep_records,
+    )
+
+    if args.prune_cache:
+        removed = RunCache(args.cache_dir).prune()
+        print(f"pruned {removed} stale cache entr"
+              f"{'y' if removed == 1 else 'ies'}", file=sys.stderr)
+
+    golden_mode = args.update_golden or args.check_golden
+    if golden_mode:
+        # The golden suite is pinned: quick sizes, every benchmark, all
+        # three configurations — whatever else was on the command line.
+        quick, benchmarks, modes = True, None, ("baseline", "dmp", "dx100")
+    else:
+        quick = args.quick
+        benchmarks = args.benchmarks or None
+        modes = tuple(args.configs)
+
+    outcome = run_main_sweep(
+        quick=quick, benchmarks=benchmarks, modes=modes, jobs=args.jobs,
+        cache=not args.no_cache, cache_dir=args.cache_dir,
+    )
+    write_sweep_records(outcome, Path("results"), sweep_json=args.json)
+
+    print(comparison_table(outcome.nested()))
+    fresh_wall = sum(r.wall for r in outcome.runs if not r.cached)
+    print(f"\n{len(outcome.runs)} runs in {outcome.wall:.1f}s wall "
+          f"({outcome.jobs} job(s)): {outcome.cache_hits} cached, "
+          f"{outcome.cache_misses} simulated "
+          f"({fresh_wall:.1f}s of simulation)")
+    print(f"sweep record: {args.json or 'results/sweep.json'}; "
+          f"perf trajectory: BENCH_mainsweep.json")
+
+    if args.update_golden:
+        path = write_golden(outcome)
+        print(f"golden metrics updated: {path}")
+        return 0
+    if args.check_golden:
+        try:
+            golden = load_golden()
+        except FileNotFoundError:
+            print(f"no golden file at {GOLDEN_PATH}; run "
+                  f"`python -m repro sweep --update-golden`",
+                  file=sys.stderr)
+            return 1
+        problems = diff_golden(golden_snapshot(outcome), golden)
+        if problems:
+            print(f"\ngolden-metrics check FAILED "
+                  f"({len(problems)} mismatch(es)):", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            print("if the model change is intentional, regenerate with "
+                  "`python -m repro sweep --update-golden`", file=sys.stderr)
+            return 1
+        print("golden-metrics check passed (bitwise identical)")
+    return 0
+
+
 def cmd_area() -> int:
     """Print the Table 4 area/power breakdown."""
     report = area_power()
@@ -155,6 +256,8 @@ def main(argv=None) -> int:
         return cmd_list()
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     if args.command == "area":
         return cmd_area()
     return 2

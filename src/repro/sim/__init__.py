@@ -8,24 +8,34 @@ from repro.sim.runner import (
 )
 from repro.sim.scale import run_dx100_multi
 from repro.sim.statsdump import dump_stats, format_stats, write_stats
+from repro.sim.sweep import (
+    RunCache, SweepOutcome, SweepTask, main_sweep_tasks, run_main_sweep,
+    run_sweep,
+)
 from repro.sim.system import SimSystem
 
 __all__ = [
     "CorunResult",
     "NamespacedMemory",
+    "RunCache",
     "RunResult",
     "SimSystem",
+    "SweepOutcome",
+    "SweepTask",
     "bar_chart",
     "collect",
     "compare",
     "comparison_table",
     "dump_stats",
     "format_stats",
+    "main_sweep_tasks",
     "run_baseline",
     "run_corun",
     "run_dmp",
     "run_dx100",
     "run_dx100_multi",
+    "run_main_sweep",
+    "run_sweep",
     "software_pipeline",
     "to_csv",
     "write_stats",

@@ -44,6 +44,12 @@ def collect(system: SimSystem, workload: str, config_name: str,
         if not auditor.ok:
             extra["audit_report"] = auditor.report()
     dram_stats = system.dram.merged_stats()
+    # DRAM command mix (the sweep's BENCH record and Fig. 10 diagnostics).
+    extra["dram_reads"] = dram_stats.get("reads")
+    extra["dram_writes"] = dram_stats.get("writes")
+    extra["dram_row_hits"] = dram_stats.get("row_hits")
+    extra["dram_row_conflicts"] = dram_stats.get("row_conflicts")
+    extra["dram_row_empty"] = dram_stats.get("row_empty")
     hier_stats = system.hierarchy.stats
     kilo = max(instructions, 1.0) / 1000.0
     # Scratchpad-backed fills are DX100 traffic, not core cache misses.

@@ -1,0 +1,517 @@
+"""Process-parallel experiment executor with a content-addressed run cache.
+
+The paper's evaluation is a sweep: 12 benchmarks x {baseline, DMP, DX100}
+(Figures 9-12) plus ablations — dozens of fully independent simulations.
+This module fans (workload, config, mode) triples out over
+``multiprocessing`` workers and memoizes every finished run in an on-disk
+cache keyed by *content*:
+
+    key = sha256(workload name + constructor params,
+                 every SystemConfig field,
+                 model-version stamp)
+
+where the model-version stamp is a hash of the ``repro`` package's own
+source tree, so any model change invalidates exactly the runs it could
+affect and an unchanged run is loaded instead of re-simulated.  Execution
+is bitwise-deterministic: each run builds a fresh workload from the
+registry with its fixed seed, so a parallel sweep returns ``RunResult``
+metrics identical to a serial one (``tests/sim/test_sweep.py`` asserts
+this, and the golden-metrics harness pins the quick suite's numbers).
+
+Entry points:
+
+* :func:`run_sweep` — execute a list of :class:`SweepTask`;
+* :func:`main_sweep_tasks` / :func:`run_main_sweep` — the Figure 9-12
+  benchmark x configuration grid (``benchmarks/mainsweep.py`` delegates
+  here, and ``python -m repro sweep`` exposes it on the command line);
+* :func:`golden_snapshot` / :func:`diff_golden` — the golden-metrics
+  regression harness (``tests/golden/quick_suite.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+from repro.common.config import SystemConfig
+from repro.common.stats import geomean
+from repro.sim.metrics import RunResult
+
+MODES = ("baseline", "dmp", "dx100")
+
+#: Bump when the metric *semantics* change without a source change that the
+#: model-version hash would see (e.g. an external data file).  Part of every
+#: cache key.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = Path("results") / ".runcache"
+
+#: RunResult fields pinned by the golden-metrics harness.  ``extra`` is
+#: excluded: it carries run-mode-dependent annotations (audit reports,
+#: wall-clock) alongside the deterministic counters.
+GOLDEN_FIELDS = (
+    "cycles", "instructions", "bandwidth_utilization",
+    "row_buffer_hit_rate", "request_buffer_occupancy", "llc_mpki",
+    "dram_bytes", "dram_requests",
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parents[3] / "tests" / "golden" / \
+    "quick_suite.json"
+
+
+# --------------------------------------------------------------------- keys
+
+def model_version() -> str:
+    """Hash of the ``repro`` package's source tree (the model itself).
+
+    Any edit to any ``.py`` file under ``src/repro`` yields a new stamp, so
+    cached results can never outlive the model that produced them.
+    """
+    global _MODEL_VERSION
+    if _MODEL_VERSION is None:
+        root = Path(__file__).resolve().parents[1]
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _MODEL_VERSION = h.hexdigest()[:16]
+    return _MODEL_VERSION
+
+
+_MODEL_VERSION: str | None = None
+
+
+def workload_fingerprint(workload) -> dict:
+    """Name + constructor-visible parameters of a workload instance.
+
+    Only scalar attributes participate: derived state (rng, generated
+    arrays, memory handles) is a function of those scalars plus the model
+    version, both already in the key.
+    """
+    params = {
+        k: v for k, v in sorted(vars(workload).items())
+        if k != "mem"
+        and (isinstance(v, (int, float, str, bool)) or v is None)
+    }
+    return {
+        "class": type(workload).__qualname__,
+        "name": workload.name,
+        "params": params,
+    }
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent simulation: a (workload, config, mode) triple."""
+
+    benchmark: str            # registry name, e.g. "IS"
+    mode: str                 # baseline | dmp | dx100
+    quick: bool               # QUICK_BENCHMARKS vs MAIN_BENCHMARKS sizes
+    config: SystemConfig
+    warm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r} (want {MODES})")
+
+    def factory(self):
+        from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+        registry = QUICK_BENCHMARKS if self.quick else MAIN_BENCHMARKS
+        if self.benchmark not in registry:
+            raise KeyError(f"unknown benchmark {self.benchmark!r}")
+        return registry[self.benchmark]
+
+    def key(self) -> str:
+        """Content-addressed cache key for this task."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "model": model_version(),
+            "workload": workload_fingerprint(self.factory()()),
+            "mode": self.mode,
+            "warm": self.warm,
+            "config": asdict(self.config),
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def result_to_dict(result: RunResult) -> dict:
+    return asdict(result)
+
+
+def result_from_dict(d: dict) -> RunResult:
+    return RunResult(**d)
+
+
+# -------------------------------------------------------------------- cache
+
+class RunCache:
+    """Content-addressed on-disk store of finished ``RunResult``s.
+
+    One JSON file per key.  Keys embed the model-version stamp, so
+    invalidation is automatic — stale entries are simply never addressed
+    again (``prune`` deletes them).
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        self.directory = Path(directory or env or DEFAULT_CACHE_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> RunResult | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return result_from_dict(payload["result"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None   # corrupt entry: fall through to a re-run
+
+    def store(self, key: str, task: SweepTask, result: RunResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "model": model_version(),
+            "benchmark": task.benchmark,
+            "mode": task.mode,
+            "quick": task.quick,
+            "result": result_to_dict(result),
+        }
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(self._path(key))   # atomic vs concurrent sweeps
+
+    def prune(self) -> int:
+        """Delete entries from older model versions; returns count."""
+        current = model_version()
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.glob("*.json"):
+            try:
+                if json.loads(path.read_text()).get("model") != current:
+                    path.unlink()
+                    removed += 1
+            except (json.JSONDecodeError, OSError):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------- execution
+
+def execute_task(task: SweepTask) -> tuple[RunResult, float]:
+    """Run one task from scratch; returns (result, wall seconds)."""
+    from repro.sim.runner import run_baseline, run_dx100
+    t0 = time.perf_counter()
+    workload = task.factory()()
+    if task.mode == "dx100":
+        result = run_dx100(workload, task.config, warm=task.warm)
+    else:
+        result = run_baseline(workload, task.config, warm=task.warm)
+    return result, time.perf_counter() - t0
+
+
+def _worker(payload: tuple[int, SweepTask]) -> tuple[int, RunResult, float]:
+    index, task = payload
+    result, wall = execute_task(task)
+    return index, result, wall
+
+
+@dataclass
+class TaskRun:
+    """One task's outcome inside a sweep."""
+
+    task: SweepTask
+    result: RunResult
+    wall: float               # seconds simulating (0.0 for a cache hit)
+    cached: bool
+    key: str
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, in task order."""
+
+    runs: list[TaskRun]
+    jobs: int
+    wall: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def nested(self) -> dict[str, dict[str, RunResult]]:
+        """benchmark -> mode -> RunResult (the mainsweep shape)."""
+        out: dict[str, dict[str, RunResult]] = {}
+        for run in self.runs:
+            out.setdefault(run.task.benchmark, {})[run.task.mode] = run.result
+        return out
+
+    def speedups(self, over: str = "baseline",
+                 of: str = "dx100") -> dict[str, float]:
+        table = self.nested()
+        out = {}
+        for name, runs in table.items():
+            if over in runs and of in runs:
+                out[name] = runs[of].speedup_over(runs[over])
+        return out
+
+    # ------------------------------------------------------- serialization
+
+    def to_json_dict(self) -> dict:
+        return {
+            "model_version": model_version(),
+            "jobs": self.jobs,
+            "wall_s": round(self.wall, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "runs": [
+                {
+                    "benchmark": r.task.benchmark,
+                    "mode": r.task.mode,
+                    "quick": r.task.quick,
+                    "key": r.key,
+                    "cached": r.cached,
+                    "wall_s": round(r.wall, 3),
+                    "result": result_to_dict(r.result),
+                }
+                for r in self.runs
+            ],
+        }
+
+    def bench_record(self) -> dict:
+        """Perf-trajectory record (``BENCH_mainsweep.json``): wall-clock,
+        cycles, speedups, row-buffer hit rates, DRAM command counts."""
+        speedups = self.speedups()
+        dmp_speedups = self.speedups(of="dmp")
+        runs = []
+        for r in self.runs:
+            res = r.result
+            runs.append({
+                "benchmark": r.task.benchmark,
+                "mode": r.task.mode,
+                "cached": r.cached,
+                "wall_s": round(r.wall, 3),
+                "cycles": res.cycles,
+                "row_buffer_hit_rate": res.row_buffer_hit_rate,
+                "bandwidth_utilization": res.bandwidth_utilization,
+                "dram_requests": res.dram_requests,
+                "dram_commands": {
+                    k: res.extra[k] for k in
+                    ("dram_reads", "dram_writes", "dram_row_hits",
+                     "dram_row_conflicts", "dram_row_empty")
+                    if k in res.extra
+                },
+            })
+        record = {
+            "bench": "mainsweep",
+            "model_version": model_version(),
+            "jobs": self.jobs,
+            "wall_s": round(self.wall, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "speedups_dx100": {k: round(v, 4) for k, v in speedups.items()},
+            "speedups_dmp": {k: round(v, 4) for k, v in dmp_speedups.items()},
+            "runs": runs,
+        }
+        if speedups:
+            record["geomean_speedup_dx100"] = round(
+                geomean(list(speedups.values())), 4)
+        record.update(self.extras)
+        return record
+
+
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(tasks: list[SweepTask], jobs: int | None = None,
+              cache: bool = True,
+              cache_dir: str | Path | None = None,
+              progress=None) -> SweepOutcome:
+    """Execute ``tasks``, fanning cache misses out over worker processes.
+
+    ``jobs=None`` uses ``REPRO_JOBS`` or the CPU count; ``jobs=1`` runs
+    strictly serially in-process (no pool), which the determinism tests
+    compare against the parallel path.  ``progress`` is an optional
+    ``callable(TaskRun)`` invoked as each task settles.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    store = RunCache(cache_dir) if cache else None
+    t0 = time.perf_counter()
+
+    keys = [task.key() for task in tasks]
+    settled: list[TaskRun | None] = [None] * len(tasks)
+    misses: list[int] = []
+    hits = 0
+    for i, (task, key) in enumerate(zip(tasks, keys)):
+        found = store.load(key) if store is not None else None
+        if found is not None:
+            settled[i] = TaskRun(task, found, 0.0, True, key)
+            hits += 1
+        else:
+            misses.append(i)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            fresh = [_worker((i, tasks[i])) for i in misses]
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(misses))) as pool:
+                fresh = pool.map(_worker, [(i, tasks[i]) for i in misses])
+        for index, result, wall in fresh:
+            run = TaskRun(tasks[index], result, wall, False, keys[index])
+            settled[index] = run
+            if store is not None:
+                store.store(keys[index], tasks[index], result)
+
+    runs = [r for r in settled if r is not None]
+    if progress is not None:
+        for run in runs:
+            progress(run)
+    return SweepOutcome(runs=runs, jobs=jobs,
+                        wall=time.perf_counter() - t0,
+                        cache_hits=hits, cache_misses=len(misses))
+
+
+# ------------------------------------------------------- the main-eval grid
+
+CONFIG_BUILDERS = {
+    "baseline": SystemConfig.baseline_scaled,
+    "dmp": SystemConfig.dmp_scaled,
+    "dx100": SystemConfig.dx100_scaled,
+}
+
+
+def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
+                     modes: tuple[str, ...] = MODES, cores: int = 4,
+                     audit: bool = False) -> list[SweepTask]:
+    """The Figure 9-12 grid: every benchmark under every configuration."""
+    from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+    registry = QUICK_BENCHMARKS if quick else MAIN_BENCHMARKS
+    names = list(registry) if benchmarks is None else list(benchmarks)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {', '.join(unknown)}")
+    tasks = []
+    for name in names:
+        for mode in modes:
+            config = CONFIG_BUILDERS[mode](cores)
+            if audit:
+                config = replace(config,
+                                 dram=replace(config.dram, audit=True))
+            tasks.append(SweepTask(benchmark=name, mode=mode, quick=quick,
+                                   config=config))
+    return tasks
+
+
+def run_main_sweep(quick: bool = False,
+                   benchmarks: list[str] | None = None,
+                   modes: tuple[str, ...] = MODES,
+                   jobs: int | None = None, cache: bool = True,
+                   cache_dir: str | Path | None = None,
+                   results_dir: str | Path | None = None) -> SweepOutcome:
+    """Run the main-evaluation grid and emit the structured JSON records
+    (``results/sweep.json`` + ``BENCH_mainsweep.json``)."""
+    tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes)
+    outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    outcome.extras["quick"] = quick
+    if results_dir is not None:
+        write_sweep_records(outcome, results_dir)
+    return outcome
+
+
+def write_sweep_records(outcome: SweepOutcome,
+                        results_dir: str | Path,
+                        sweep_json: str | Path | None = None) -> None:
+    """Write ``sweep.json`` into ``results_dir`` and the perf-trajectory
+    record ``BENCH_mainsweep.json`` next to it (one level up when
+    ``results_dir`` is the conventional ``results/``)."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    sweep_path = Path(sweep_json) if sweep_json else results_dir / "sweep.json"
+    sweep_path.parent.mkdir(parents=True, exist_ok=True)
+    sweep_path.write_text(json.dumps(outcome.to_json_dict(), indent=2,
+                                     sort_keys=True) + "\n")
+    bench_path = results_dir.parent / "BENCH_mainsweep.json"
+    bench_path.write_text(json.dumps(outcome.bench_record(), indent=2,
+                                     sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------- golden-metrics harness
+
+def golden_snapshot(outcome: SweepOutcome) -> dict:
+    """``benchmark -> mode -> {field: value}`` for the pinned fields."""
+    snapshot: dict[str, dict[str, dict]] = {}
+    for name, runs in outcome.nested().items():
+        snapshot[name] = {
+            mode: {f: getattr(r, f) for f in GOLDEN_FIELDS}
+            for mode, r in runs.items()
+        }
+    return snapshot
+
+
+def diff_golden(snapshot: dict, golden: dict) -> list[str]:
+    """Exact field-by-field diff; empty list means bitwise identical."""
+    problems = []
+    for name in sorted(set(golden) | set(snapshot)):
+        if name not in snapshot:
+            problems.append(f"{name}: missing from this run")
+            continue
+        if name not in golden:
+            problems.append(f"{name}: not in the golden file "
+                            f"(run --update-golden)")
+            continue
+        for mode in sorted(set(golden[name]) | set(snapshot[name])):
+            got = snapshot[name].get(mode)
+            want = golden[name].get(mode)
+            if got is None or want is None:
+                problems.append(f"{name}/{mode}: present in only one side")
+                continue
+            for fld in GOLDEN_FIELDS:
+                if got.get(fld) != want.get(fld):
+                    problems.append(
+                        f"{name}/{mode}.{fld}: got {got.get(fld)!r}, "
+                        f"golden {want.get(fld)!r}")
+    return problems
+
+
+def write_golden(outcome: SweepOutcome,
+                 path: str | Path | None = None) -> Path:
+    """Rewrite the golden-metrics file from a finished quick-suite sweep
+    (the documented ``--update-golden`` path for intentional changes)."""
+    path = Path(path or GOLDEN_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_comment": "Golden RunResult metrics for the REPRO_QUICK suite "
+                    "under baseline/dmp/dx100.  Regenerate with "
+                    "`python -m repro sweep --update-golden` after an "
+                    "intentional model change.",
+        "fields": list(GOLDEN_FIELDS),
+        "metrics": golden_snapshot(outcome),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_golden(path: str | Path | None = None) -> dict:
+    return json.loads(Path(path or GOLDEN_PATH).read_text())["metrics"]

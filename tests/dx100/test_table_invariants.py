@@ -1,0 +1,149 @@
+"""Hypothesis property tests for the DX100 mechanism invariants (ISSUE 2).
+
+Two claims from Section 3.3 that the whole bandwidth story rests on:
+
+* a Row Table slice never mixes DRAM rows within an entry — every cache
+  line tracked under a (slice, row) entry really decodes to that slice's
+  bank and that row;
+* Word Table coalescing never fetches the same (channel, row, column)
+  twice within a tile — each drain emits a set of *unique* lines, and the
+  per-line word chains partition the inserted iterations exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import DType, SystemConfig
+from repro.common.config import DRAMConfig
+from repro.dram.address import AddressMapper
+from repro.dx100.row_table import RowTable
+from repro.dx100.word_table import WordTable
+
+# A deliberately tiny geometry so random addresses collide on banks, rows,
+# and lines often: 2 ch x 1 rank x 2 bg x 2 banks x 8 rows x 4 columns.
+SMALL = DRAMConfig(channels=2, ranks=1, bankgroups=2, banks_per_group=2,
+                   rows=8, columns=4)
+LINES = SMALL.capacity_bytes // SMALL.line_bytes
+
+line_indices = st.lists(st.integers(0, LINES - 1), min_size=1, max_size=120)
+
+
+def _fill(indices, rows_per_slice=3, cols_per_row=2):
+    """Drive RowTable + WordTable exactly the way the fill stage does,
+    draining on capacity rejects; returns (mapper, drains, word_table,
+    reference) where reference maps line -> iterations since last drain."""
+    mapper = AddressMapper(SMALL)
+    rt = RowTable(rows_per_slice, cols_per_row)
+    wt = WordTable(len(indices))
+    drains: list[list] = []
+    reference: dict[int, list[int]] = {}
+    epochs: list[dict[int, list[int]]] = []
+    for it, idx in enumerate(indices):
+        line_addr = idx * SMALL.line_bytes
+        coord = mapper.map(line_addr)
+        accepted, prev = rt.insert(coord, line_addr, it, lambda a: False)
+        if not accepted:
+            drains.append(rt.drain())
+            epochs.append(reference)
+            reference = {}
+            accepted, prev = rt.insert(coord, line_addr, it,
+                                       lambda a: False)
+            assert accepted, "insert must succeed on an empty table"
+        wt.insert(it, idx % 7, prev)
+        reference.setdefault(line_addr, []).append(it)
+    drains.append(rt.drain())
+    epochs.append(reference)
+    return mapper, drains, wt, epochs
+
+
+@settings(max_examples=60, deadline=None)
+@given(line_indices)
+def test_row_table_entries_never_mix_dram_rows(indices):
+    """Before each drain, every line filed under a (slice, row) entry
+    decodes to exactly that bank and that DRAM row."""
+    mapper = AddressMapper(SMALL)
+    rt = RowTable(rows_per_slice=3, cols_per_row=2)
+    for it, idx in enumerate(indices):
+        line_addr = idx * SMALL.line_bytes
+        coord = mapper.map(line_addr)
+        accepted, _ = rt.insert(coord, line_addr, it, lambda a: False)
+        if not accepted:
+            for sl in rt._slices.values():
+                assert sl.entry_units() <= rt.rows_per_slice
+            rt.drain()
+            accepted, _ = rt.insert(coord, line_addr, it, lambda a: False)
+            assert accepted
+        for sl in rt._slices.values():
+            for row, cols in sl.rows.items():
+                for line in cols:
+                    decoded = mapper.map(line)
+                    assert decoded.flat_bank == sl.coord
+                    assert decoded.row == row
+
+
+@settings(max_examples=60, deadline=None)
+@given(line_indices)
+def test_drain_never_emits_the_same_line_twice(indices):
+    """Within one drain (one tile's request batch), no (channel, row,
+    column) target appears twice, and every pending line's coordinates
+    round-trip through the address mapper."""
+    mapper, drains, _, _ = _fill(indices)
+    total_words = 0
+    for batch in drains:
+        seen = set()
+        for pline in batch:
+            decoded = mapper.map(pline.line_addr)
+            assert decoded.flat_bank == pline.coord
+            assert decoded.row == pline.row
+            target = (decoded.channel, decoded.row, decoded.column,
+                      pline.coord)
+            assert target not in seen, "coalescing re-fetched a line"
+            seen.add(target)
+            total_words += pline.words
+    assert total_words == len(indices)   # every inserted word is accounted
+
+
+@settings(max_examples=60, deadline=None)
+@given(line_indices)
+def test_word_chains_partition_iterations_in_insertion_order(indices):
+    """Walking each drained line's Word Table chain from its tail yields
+    exactly the iterations that touched that line since the previous
+    drain, oldest first — and the chains partition all iterations."""
+    _, drains, wt, epochs = _fill(indices)
+    covered = []
+    for batch, reference in zip(drains, epochs):
+        for pline in batch:
+            chain = wt.traverse(pline.tail_i)
+            its = [i for i, _ in chain]
+            assert its == reference[pline.line_addr]
+            assert pline.words == len(its)
+            covered.extend(its)
+    assert sorted(covered) == list(range(len(indices)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 511), min_size=1, max_size=200))
+def test_indirect_unit_fetches_each_line_exactly_once(indices):
+    """End to end: with no capacity drains, the indirect unit's unique-line
+    count equals the number of distinct cache lines among the indices —
+    duplicates coalesce instead of re-fetching."""
+    from repro.cache import MemoryHierarchy
+    from repro.dram import DRAMSystem
+    from repro.dx100 import DX100, HostMemory
+
+    cfg = SystemConfig.dx100_system(tile_elems=1024)
+    dram = DRAMSystem(cfg.dram)
+    hier = MemoryHierarchy(cfg, dram)
+    mem = HostMemory(1 << 22)
+    dx = DX100(cfg, hier, dram, mem)
+    data = np.arange(512, dtype=np.int64)
+    base = mem.place("A", data)
+    res = dx.indirect.execute("ld", base, DType.I64,
+                              np.array(indices, dtype=np.int64), None,
+                              None, 0)
+    assert res.drains == 1
+    assert res.unique_lines == len({i // 8 for i in indices})
+    assert res.coalescing == len(indices) / res.unique_lines

@@ -1,0 +1,42 @@
+"""Golden-metrics regression harness (tier-1).
+
+Re-runs the REPRO_QUICK suite under all three configurations through the
+sweep executor — with the run cache disabled, so the model actually
+executes — and diffs every pinned ``RunResult`` field *exactly* against
+``tests/golden/quick_suite.json``.
+
+Any mismatch means a change altered the reproduced numbers.  If that is
+intentional (a model fix, a calibration change), regenerate the golden
+file with ``python -m repro sweep --update-golden`` and commit it with the
+change; EXPERIMENTS.md documents the workflow.
+"""
+
+import json
+
+from repro.sim.sweep import (
+    GOLDEN_FIELDS, GOLDEN_PATH, diff_golden, golden_snapshot, load_golden,
+    main_sweep_tasks, run_sweep,
+)
+
+
+def test_golden_file_is_committed_and_well_formed():
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; run `python -m repro sweep --update-golden`")
+    payload = json.loads(GOLDEN_PATH.read_text())
+    assert payload["fields"] == list(GOLDEN_FIELDS)
+    metrics = payload["metrics"]
+    assert len(metrics) == 12, sorted(metrics)
+    for name, runs in metrics.items():
+        assert set(runs) == {"baseline", "dmp", "dx100"}, name
+        for mode, fields in runs.items():
+            assert set(fields) == set(GOLDEN_FIELDS), (name, mode)
+
+
+def test_quick_suite_matches_golden_metrics_exactly():
+    golden = load_golden()
+    outcome = run_sweep(main_sweep_tasks(quick=True), cache=False)
+    problems = diff_golden(golden_snapshot(outcome), golden)
+    assert not problems, (
+        "reproduced metrics drifted from tests/golden/quick_suite.json "
+        "(intentional? `python -m repro sweep --update-golden`):\n  "
+        + "\n  ".join(problems))

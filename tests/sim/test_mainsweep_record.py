@@ -1,0 +1,52 @@
+"""benchmarks/mainsweep.py glue: record() emits .txt + .json and creates
+the results directory with parents (works from a clean checkout)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load_mainsweep():
+    spec = importlib.util.spec_from_file_location(
+        "mainsweep", REPO / "benchmarks" / "mainsweep.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["mainsweep"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_record_writes_txt_and_json_with_parents(tmp_path, monkeypatch,
+                                                 capsys):
+    mainsweep = _load_mainsweep()
+    nested = tmp_path / "deep" / "results"       # does not exist yet
+    monkeypatch.setattr(mainsweep, "RESULTS_DIR", nested)
+
+    mainsweep.record("fig_test", ["a | 1.0x", "b | 2.0x"],
+                     data={"speedups": {"a": 1.0, "b": 2.0}})
+
+    assert (nested / "fig_test.txt").read_text() == "a | 1.0x\nb | 2.0x\n"
+    payload = json.loads((nested / "fig_test.json").read_text())
+    assert payload["figure"] == "fig_test"
+    assert payload["lines"] == ["a | 1.0x", "b | 2.0x"]
+    assert payload["data"] == {"speedups": {"a": 1.0, "b": 2.0}}
+    assert "fig_test" in capsys.readouterr().out
+
+
+def test_record_without_data_omits_the_key(tmp_path, monkeypatch):
+    mainsweep = _load_mainsweep()
+    monkeypatch.setattr(mainsweep, "RESULTS_DIR", tmp_path / "r")
+    mainsweep.record("fig_plain", ["only text"])
+    payload = json.loads((tmp_path / "r" / "fig_plain.json").read_text())
+    assert "data" not in payload
+
+
+def test_benchmark_set_honours_quick_env(monkeypatch):
+    mainsweep = _load_mainsweep()
+    monkeypatch.delenv("REPRO_QUICK", raising=False)
+    from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+    assert mainsweep.benchmark_set() is MAIN_BENCHMARKS
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert mainsweep.benchmark_set() is QUICK_BENCHMARKS

@@ -1,0 +1,142 @@
+"""The sweep executor: determinism, the content-addressed run cache, and
+cache-key sensitivity (ISSUE 2's bitwise-identical guarantee)."""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.common import SystemConfig
+from repro.sim import run_baseline, run_dx100
+from repro.sim.sweep import (
+    RunCache, SweepTask, diff_golden, execute_task, golden_snapshot,
+    main_sweep_tasks, model_version, run_sweep, workload_fingerprint,
+)
+from repro.workloads import QUICK_BENCHMARKS
+
+
+def _tasks(benchmarks=("IS",), modes=("baseline", "dx100")):
+    return main_sweep_tasks(quick=True, benchmarks=list(benchmarks),
+                            modes=modes)
+
+
+# ------------------------------------------------------------- determinism
+
+def test_parallel_sweep_matches_serial_and_direct_runs():
+    """The same quick workload run serially, via the executor with jobs=1,
+    and via the executor with jobs=4 yields identical metrics dicts."""
+    direct = {
+        "baseline": run_baseline(QUICK_BENCHMARKS["IS"](),
+                                 SystemConfig.baseline_scaled(), warm=False),
+        "dx100": run_dx100(QUICK_BENCHMARKS["IS"](),
+                           SystemConfig.dx100_scaled(), warm=False),
+    }
+    serial = run_sweep(_tasks(), jobs=1, cache=False)
+    parallel = run_sweep(_tasks(), jobs=4, cache=False)
+
+    for outcome in (serial, parallel):
+        runs = outcome.nested()["IS"]
+        for mode, want in direct.items():
+            assert asdict(runs[mode]) == asdict(want), mode
+
+
+def test_task_order_is_preserved():
+    tasks = _tasks(benchmarks=("IS", "CG"))
+    outcome = run_sweep(tasks, jobs=4, cache=False)
+    assert [(r.task.benchmark, r.task.mode) for r in outcome.runs] == \
+        [(t.benchmark, t.mode) for t in tasks]
+
+
+# ------------------------------------------------------------------- cache
+
+def test_cache_hit_returns_the_exact_cached_runresult(tmp_path):
+    tasks = _tasks()
+    cold = run_sweep(tasks, jobs=1, cache=True, cache_dir=tmp_path)
+    assert cold.cache_hits == 0 and cold.cache_misses == len(tasks)
+
+    warm = run_sweep(tasks, jobs=1, cache=True, cache_dir=tmp_path)
+    assert warm.cache_hits == len(tasks) and warm.cache_misses == 0
+    for a, b in zip(cold.runs, warm.runs):
+        assert not a.cached and b.cached
+        assert asdict(a.result) == asdict(b.result)
+
+    # The store itself round-trips bitwise: load(key) == the stored result.
+    store = RunCache(tmp_path)
+    for run in cold.runs:
+        assert asdict(store.load(run.key)) == asdict(run.result)
+
+
+def test_corrupt_cache_entry_falls_back_to_a_rerun(tmp_path):
+    task = _tasks(modes=("baseline",))[0]
+    store = RunCache(tmp_path)
+    (store.directory).mkdir(parents=True, exist_ok=True)
+    (store.directory / f"{task.key()}.json").write_text("not json{")
+    outcome = run_sweep([task], jobs=1, cache=True, cache_dir=tmp_path)
+    assert outcome.cache_misses == 1
+    assert outcome.runs[0].result.cycles > 0
+
+
+def test_prune_removes_entries_from_older_models(tmp_path):
+    task = _tasks(modes=("baseline",))[0]
+    run_sweep([task], jobs=1, cache=True, cache_dir=tmp_path)
+    store = RunCache(tmp_path)
+    stale = store.directory / ("0" * 64 + ".json")
+    stale.write_text('{"model": "not-this-model", "result": {}}')
+    assert store.prune() == 1
+    assert not stale.exists()
+    assert store.load(task.key()) is not None   # current entry survives
+
+
+# -------------------------------------------------------------------- keys
+
+def test_key_is_stable_and_content_sensitive():
+    a, b = _tasks(modes=("baseline",))[0], _tasks(modes=("baseline",))[0]
+    assert a.key() == b.key()
+
+    other_mode = replace(a, mode="dx100",
+                         config=SystemConfig.dx100_scaled())
+    assert other_mode.key() != a.key()
+
+    other_config = replace(a, config=replace(
+        a.config, llc=replace(a.config.llc, size_bytes=2560 * 1024)))
+    assert other_config.key() != a.key()
+
+    other_size = replace(a, quick=False)   # MAIN vs QUICK constructor params
+    assert other_size.key() != a.key()
+
+
+def test_workload_fingerprint_captures_constructor_params():
+    fp_a = workload_fingerprint(QUICK_BENCHMARKS["IS"]())
+    fp_b = workload_fingerprint(QUICK_BENCHMARKS["IS"]())
+    assert fp_a == fp_b
+    assert fp_a["params"]["scale"] == 1 << 12
+    assert "rng" not in fp_a["params"] and "mem" not in fp_a["params"]
+
+
+def test_model_version_is_a_stable_stamp():
+    assert model_version() == model_version()
+    assert len(model_version()) == 16
+
+
+def test_unknown_benchmark_and_mode_are_rejected():
+    with pytest.raises(KeyError):
+        main_sweep_tasks(quick=True, benchmarks=["NOPE"])
+    with pytest.raises(ValueError):
+        SweepTask(benchmark="IS", mode="turbo", quick=True,
+                  config=SystemConfig.baseline_scaled())
+
+
+# ------------------------------------------------------------ golden diffs
+
+def test_diff_golden_flags_any_field_change():
+    outcome = run_sweep(_tasks(modes=("baseline",)), jobs=1, cache=False)
+    snap = golden_snapshot(outcome)
+    assert diff_golden(snap, snap) == []
+
+    drifted = {n: {m: dict(f) for m, f in runs.items()}
+               for n, runs in snap.items()}
+    drifted["IS"]["baseline"]["cycles"] += 1
+    problems = diff_golden(snap, drifted)
+    assert problems and "IS/baseline.cycles" in problems[0]
+
+    missing = {**snap, "GHOST": {}}
+    assert any("GHOST" in p for p in diff_golden(snap, missing))
