@@ -7,7 +7,7 @@ RUN_REPRO = PYTHONPATH=src $(PYTHON) -m repro
 SWEEP_JOBS = $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: install test audit sweep sweep-quick golden-check golden-update \
-        bench bench-quick figures examples clean
+        profile bench bench-quick figures examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,13 @@ golden-check:
 
 golden-update:
 	$(RUN_REPRO) sweep --update-golden $(SWEEP_JOBS)
+
+# Where does the wall-clock go?  cProfile hotspots + per-component
+# attribution + stage timers for one run (PROFILE_ARGS to customize, e.g.
+# PROFILE_ARGS="PR --mode dx100 --json results/profile.json").
+PROFILE_ARGS ?= IS --quick
+profile:
+	$(RUN_REPRO) profile $(PROFILE_ARGS)
 
 # Figure benches consume the same sweep executor via benchmarks/mainsweep.py,
 # so they inherit the worker pool and the run cache (REPRO_JOBS,

@@ -95,6 +95,22 @@ def _parser() -> argparse.ArgumentParser:
                             "tests/golden/quick_suite.json; exit 1 on any "
                             "mismatch")
 
+    prof = sub.add_parser(
+        "profile",
+        help="profile one benchmark run: cProfile hotspots, per-component "
+             "attribution, and coarse stage timers",
+    )
+    prof.add_argument("benchmark", nargs="?", default="IS",
+                      help="benchmark name (default: IS)")
+    prof.add_argument("--mode", default="baseline",
+                      choices=sorted(CONFIG_BUILDERS))
+    prof.add_argument("--quick", action="store_true",
+                      help="use the reduced dataset sizes")
+    prof.add_argument("--top", type=int, default=25,
+                      help="hotspot functions to report (default: 25)")
+    prof.add_argument("--json", metavar="PATH",
+                      help="also write the structured report as JSON")
+
     sub.add_parser("area", help="print the Table 4 area/power breakdown")
     return parser
 
@@ -236,6 +252,27 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile one benchmark run and report where the wall-clock goes."""
+    from repro.sim.profile import format_report, profile_run
+
+    try:
+        report = profile_run(benchmark=args.benchmark, mode=args.mode,
+                             quick=args.quick, top=args.top)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.json:
+        import json
+        from pathlib import Path
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"\nstructured report written to {path}")
+    return 0
+
+
 def cmd_area() -> int:
     """Print the Table 4 area/power breakdown."""
     report = area_power()
@@ -258,6 +295,8 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "area":
         return cmd_area()
     return 2

@@ -21,7 +21,7 @@ from repro.cache.prefetcher import StridePrefetcher
 from repro.dram.system import DRAMSystem
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of a hierarchy access.
 
@@ -38,7 +38,10 @@ class AccessResult:
 
     def resolve(self, dram: DRAMSystem) -> int:
         if self.complete < 0:
-            self.complete = dram.complete(self.request) + self.return_latency
+            request = self.request
+            if request.finish < 0:
+                dram.complete(request)
+            self.complete = request.finish + self.return_latency
         return self.complete
 
 
@@ -73,6 +76,11 @@ class MemoryHierarchy:
         self._spd_regions: list[tuple[int, int, int]] = []  # (lo, hi, latency)
         # Demand-access observers (the DMP engine registers one).
         self.observers: list = []
+        # Per-level latencies, hoisted off the config dataclasses for the
+        # per-access walk.
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        self._llc_latency = config.llc.latency
 
     def register_spd_region(self, lo: int, hi: int, latency: int) -> None:
         """Declare [lo, hi) as scratchpad-backed with the given fill latency."""
@@ -89,21 +97,26 @@ class MemoryHierarchy:
     # --------------------------------------------------------------- helpers
 
     def _stall_for_mshr(self, mshr: MSHRFile, t: int) -> int:
-        """If the MSHR file is full, wait for its oldest fill to complete."""
-        while mshr.full:
-            oldest = mshr.oldest()
-            if oldest.ready < 0 and oldest.request is not None:
-                oldest.ready = self.dram.complete(oldest.request)
-            t = max(t, oldest.ready)
-            mshr.release(oldest.line_addr)
-            self.stats.add(f"{mshr.name}_stalls")
+        """If the MSHR file is full, wait for its oldest fill to complete.
+
+        Resolved entries are released lazily (see :meth:`MSHRFile.lookup`),
+        so the apparent occupancy may include already-finished fills; the
+        sweep to drop them runs only when the file looks full, which keeps
+        the common (non-full) miss path free of the scan.
+        """
+        if len(mshr) >= mshr.capacity:
+            mshr.release_resolved()
+            while mshr.full:
+                oldest = mshr.oldest()
+                if oldest.ready < 0 and oldest.request is not None:
+                    oldest.ready = self.dram.complete(oldest.request)
+                t = max(t, oldest.ready)
+                mshr.release(oldest.line_addr)
+                self.stats.add(f"{mshr.name}_stalls")
         return t
 
     def _release_resolved(self, mshr: MSHRFile) -> None:
-        for entry in mshr.entries():
-            if entry.ready >= 0 or (entry.request is not None
-                                    and entry.request.done):
-                mshr.release(entry.line_addr)
+        mshr.release_resolved()
 
     # --------------------------------------------------------------- demand
 
@@ -112,13 +125,15 @@ class MemoryHierarchy:
                prefetch: bool = True) -> AccessResult:
         """A demand access from ``core`` at cycle ``t``."""
         line = self.llc.line_addr(addr)
-        self.stats.add("l1_accesses")
+        self.stats.counters["l1_accesses"] += 1
         result = self._access_line(core, line, is_write, t)
-        if prefetch and self.l1_pf[core] is not None:
-            for pf_line in self.l1_pf[core].observe(pc, addr):
+        prefetcher = self.l1_pf[core]
+        if prefetch and prefetcher is not None:
+            for pf_line in prefetcher.observe(pc, addr):
                 self._prefetch_fill(core, pf_line, result.issue)
-        for observer in self.observers:
-            observer(core, addr, pc, tag, result.issue)
+        if self.observers:
+            for observer in self.observers:
+                observer(core, addr, pc, tag, result.issue)
         return result
 
     def prefetch_into(self, core: int, line: int, t: int) -> None:
@@ -148,91 +163,97 @@ class MemoryHierarchy:
 
     def _access_line(self, core: int, line: int, is_write: bool,
                      t: int) -> AccessResult:
-        # L1: release finished fills, coalesce onto outstanding ones,
-        # then tag lookup.
-        self._release_resolved(self.l1_mshr[core])
-        pending = self.l1_mshr[core].lookup(line)
+        # L1: coalesce onto outstanding fills (resolved ones release
+        # lazily inside lookup), then tag probe.
+        mshr = self.l1_mshr[core]
+        pending = mshr.lookup(line)
         if pending is not None:
             return self._pending_result(pending, HitLevel.L1,
-                                         self.config.l1.latency, t)
-        if self.l1[core].lookup(line):
-            self.stats.add("l1_hits")
-            self.l1[core].touch(line, dirty=is_write)
+                                        self._l1_latency, t)
+        counters = self.stats.counters
+        l1 = self.l1[core]
+        if l1.hit(line, is_write):
+            counters["l1_hits"] += 1
             return AccessResult(HitLevel.L1, issue=t,
-                                complete=t + self.config.l1.latency)
-        self.stats.add("l1_misses")
-        t = self._stall_for_mshr(self.l1_mshr[core], t)
-        l1_entry = self.l1_mshr[core].allocate(line, t)
+                                complete=t + self._l1_latency)
+        counters["l1_misses"] += 1
+        t = self._stall_for_mshr(mshr, t)
+        l1_entry = mshr.allocate(line, t)
 
-        t_l2 = t + self.config.l1.latency
-        self.stats.add("l2_accesses")
+        t_l2 = t + self._l1_latency
+        counters["l2_accesses"] += 1
         result = self._access_l2(core, line, is_write, t_l2)
-        self._fill(self.l1[core], line, is_write)
+        self._fill(l1, line, is_write)
         if result.complete >= 0:
-            l1_entry.resolve(result.complete)
+            l1_entry.ready = result.complete
         else:
             l1_entry.request = result.request
         return result
 
     def _access_l2(self, core: int, line: int, is_write: bool,
                    t: int) -> AccessResult:
-        self._release_resolved(self.l2_mshr[core])
-        pending = self.l2_mshr[core].lookup(line)
+        mshr = self.l2_mshr[core]
+        pending = mshr.lookup(line)
         if pending is not None:
             return self._pending_result(pending, HitLevel.L2,
-                                        self.config.l2.latency, t)
-        if self.l2[core].lookup(line):
-            self.stats.add("l2_hits")
-            self.l2[core].touch(line, dirty=is_write)
+                                        self._l2_latency, t)
+        counters = self.stats.counters
+        l2 = self.l2[core]
+        if l2.hit(line, is_write):
+            counters["l2_hits"] += 1
             return AccessResult(HitLevel.L2, issue=t,
-                                complete=t + self.config.l2.latency)
-        self.stats.add("l2_misses")
-        t = self._stall_for_mshr(self.l2_mshr[core], t)
-        l2_entry = self.l2_mshr[core].allocate(line, t)
+                                complete=t + self._l2_latency)
+        counters["l2_misses"] += 1
+        t = self._stall_for_mshr(mshr, t)
+        l2_entry = mshr.allocate(line, t)
 
-        t_llc = t + self.config.l2.latency
-        self.stats.add("llc_accesses")
+        t_llc = t + self._l2_latency
+        counters["llc_accesses"] += 1
         result = self._access_llc(line, is_write, t_llc)
-        self._fill(self.l2[core], line, is_write)
+        self._fill(l2, line, is_write)
         if result.complete >= 0:
-            l2_entry.resolve(result.complete)
+            l2_entry.ready = result.complete
         else:
             l2_entry.request = result.request
 
-        if self.l2_pf[core] is not None:
-            for pf_line in self.l2_pf[core].observe(0, line):
+        prefetcher = self.l2_pf[core]
+        if prefetcher is not None:
+            for pf_line in prefetcher.observe(0, line):
                 self._prefetch_fill(core, pf_line, t, from_level=2)
         return result
 
     def _access_llc(self, line: int, is_write: bool, t: int) -> AccessResult:
-        self._release_resolved(self.llc_mshr)
-        pending = self.llc_mshr.lookup(line)
+        mshr = self.llc_mshr
+        pending = mshr.lookup(line)
         if pending is not None:
             return self._pending_result(pending, HitLevel.LLC,
-                                        self.config.llc.latency, t)
-        if self.llc.lookup(line):
-            self.stats.add("llc_hits")
-            self.llc.touch(line, dirty=is_write)
+                                        self._llc_latency, t)
+        counters = self.stats.counters
+        llc = self.llc
+        if llc.hit(line, is_write):
+            counters["llc_hits"] += 1
             return AccessResult(HitLevel.LLC, issue=t,
-                                complete=t + self.config.llc.latency)
-        self.stats.add("llc_misses")
-        spd_latency = self._spd_latency(line)
-        if spd_latency is not None:
-            # Scratchpad-backed line: filled by DX100, no DRAM transaction.
-            self.stats.add("spd_fills")
-            self._fill(self.llc, line, is_write)
-            return AccessResult(
-                HitLevel.SPD, issue=t,
-                complete=t + self.config.llc.latency + spd_latency,
-            )
-        t = self._stall_for_mshr(self.llc_mshr, t)
-        entry = self.llc_mshr.allocate(line, t)
+                                complete=t + self._llc_latency)
+        counters["llc_misses"] += 1
+        if self._spd_regions:
+            spd_latency = self._spd_latency(line)
+            if spd_latency is not None:
+                # Scratchpad-backed line: filled by DX100, no DRAM
+                # transaction.
+                counters["spd_fills"] += 1
+                self._fill(llc, line, is_write)
+                return AccessResult(
+                    HitLevel.SPD, issue=t,
+                    complete=t + self._llc_latency + spd_latency,
+                )
+        t = self._stall_for_mshr(mshr, t)
+        entry = mshr.allocate(line, t)
         req = self.dram.access(line, is_write=False,
-                               arrival=t + self.config.llc.latency)
+                               arrival=t + self._llc_latency)
         entry.request = req
-        self._fill(self.llc, line, is_write, to_dram=True)
+        self._fill(llc, line, is_write, to_dram=True)
         return AccessResult(HitLevel.DRAM, issue=t, request=req,
-                            return_latency=self.config.llc.latency)
+                            return_latency=self._llc_latency)
 
     def _pending_result(self, entry, level: HitLevel, latency: int,
                         t: int) -> AccessResult:

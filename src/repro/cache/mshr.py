@@ -15,7 +15,7 @@ from repro.common.stats import Stats
 from repro.common.types import DRAMRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding line fill."""
 
@@ -32,6 +32,9 @@ class MSHREntry:
 class MSHRFile:
     """Bounded set of outstanding misses with same-line coalescing."""
 
+    __slots__ = ("capacity", "name", "stats", "_entries", "_counters",
+                 "_key_coalesced", "_key_allocations")
+
     def __init__(self, capacity: int, stats: Stats | None = None,
                  name: str = "mshr") -> None:
         if capacity <= 0:
@@ -40,6 +43,12 @@ class MSHRFile:
         self.name = name
         self.stats = stats if stats is not None else Stats()
         self._entries: OrderedDict[int, MSHREntry] = OrderedDict()
+        # Hot-path counter access: the counters dict is a defaultdict and
+        # its identity is stable, so bump it directly with precomputed keys
+        # instead of formatting the stat name on every lookup/allocate.
+        self._counters = self.stats.counters
+        self._key_coalesced = f"{name}_coalesced"
+        self._key_allocations = f"{name}_allocations"
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -49,20 +58,33 @@ class MSHRFile:
         return len(self._entries) >= self.capacity
 
     def lookup(self, line_addr: int) -> MSHREntry | None:
+        """Return the outstanding entry for ``line_addr``, if any.
+
+        Entries are released *lazily*: a resolved entry (fill completed)
+        encountered here is dropped and reported absent, exactly as if it
+        had been pruned eagerly at the start of the access — so callers
+        never need a full :meth:`release_resolved` sweep on the hot path.
+        """
         entry = self._entries.get(line_addr)
-        if entry is not None:
-            entry.waiters += 1
-            self.stats.add(f"{self.name}_coalesced")
+        if entry is None:
+            return None
+        if entry.ready >= 0 or (entry.request is not None
+                                and entry.request.finish >= 0):
+            del self._entries[line_addr]
+            return None
+        entry.waiters += 1
+        self._counters[self._key_coalesced] += 1.0
         return entry
 
     def allocate(self, line_addr: int, allocated_at: int) -> MSHREntry:
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             raise RuntimeError(f"{self.name} full; release an entry first")
-        if line_addr in self._entries:
+        if line_addr in entries:
             raise ValueError(f"line {line_addr:#x} already outstanding")
         entry = MSHREntry(line_addr=line_addr, allocated_at=allocated_at)
-        self._entries[line_addr] = entry
-        self.stats.add(f"{self.name}_allocations")
+        entries[line_addr] = entry
+        self._counters[self._key_allocations] += 1.0
         return entry
 
     def release(self, line_addr: int) -> MSHREntry:
@@ -70,6 +92,29 @@ class MSHRFile:
         if entry is None:
             raise KeyError(f"line {line_addr:#x} not outstanding")
         return entry
+
+    def release_resolved(self) -> None:
+        """Free every entry whose fill has completed.
+
+        The access path relies on :meth:`lookup`'s lazy per-line release
+        instead; this wholesale sweep runs only under capacity pressure
+        (:meth:`MemoryHierarchy._stall_for_mshr`) and before external
+        prefetch admission, where an exact occupancy count matters.
+        """
+        entries = self._entries
+        if not entries:
+            return
+        stale = None
+        for line_addr, entry in entries.items():
+            if entry.ready >= 0 or (entry.request is not None
+                                    and entry.request.finish >= 0):
+                if stale is None:
+                    stale = [line_addr]
+                else:
+                    stale.append(line_addr)
+        if stale is not None:
+            for line_addr in stale:
+                del entries[line_addr]
 
     def oldest(self) -> MSHREntry:
         """FIFO-oldest entry — the one a full-MSHR stall waits on."""

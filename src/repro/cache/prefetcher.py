@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.common.stats import Stats
 
 
-@dataclass
+@dataclass(slots=True)
 class _StrideEntry:
     last_addr: int
     stride: int = 0
@@ -24,6 +24,8 @@ class _StrideEntry:
 
 class StridePrefetcher:
     """Reference prediction table keyed by PC."""
+
+    __slots__ = ("degree", "table_size", "line_bytes", "stats", "_table")
 
     def __init__(self, degree: int = 2, table_size: int = 64,
                  line_bytes: int = 64, stats: Stats | None = None) -> None:
@@ -43,12 +45,15 @@ class StridePrefetcher:
             return []
         stride = addr - entry.last_addr
         if stride == entry.stride and stride != 0:
-            entry.confidence = min(entry.confidence + 1, 3)
+            confidence = entry.confidence + 1
+            if confidence > 3:
+                confidence = 3
+            entry.confidence = confidence
         else:
             entry.stride = stride
-            entry.confidence = 0
+            entry.confidence = confidence = 0
         entry.last_addr = addr
-        if entry.confidence < 2:
+        if confidence < 2:
             return []
         self.stats.add("prefetch_trains")
         out = []

@@ -143,7 +143,13 @@ class DRAMRequest:
 
 @dataclass(slots=True)
 class DRAMCoord:
-    """Decoded DRAM coordinates of a physical address."""
+    """Decoded DRAM coordinates of a physical address.
+
+    ``flat_bank`` — the (channel, rank, bankgroup, bank) key every bank-state
+    table is indexed by — is precomputed at construction: coordinates are
+    decoded once per request but their bank key is consulted on every
+    scheduler pick, so deriving it lazily was a measured hot spot.
+    """
 
     channel: int
     rank: int
@@ -151,10 +157,11 @@ class DRAMCoord:
     bank: int
     row: int
     column: int
+    flat_bank: tuple[int, int, int, int] = field(
+        init=False, repr=False, compare=False)
 
-    @property
-    def flat_bank(self) -> tuple[int, int, int, int]:
-        return (self.channel, self.rank, self.bankgroup, self.bank)
+    def __post_init__(self) -> None:
+        self.flat_bank = (self.channel, self.rank, self.bankgroup, self.bank)
 
 
 @dataclass

@@ -53,15 +53,18 @@ class AtomicsArbiter:
 
     def acquire(self, core: int, t: int) -> int:
         """Earliest cycle an atomic presented at ``t`` may issue."""
-        return max(t, self._free_at.get(core, 0))
+        free = self._free_at.get(core, 0)
+        return free if free > t else t
 
     def release(self, core: int, issue: int, completion: int) -> None:
-        exposed = max(0, completion - issue) // self.OVERLAP
+        exposed = completion - issue
+        exposed = exposed // self.OVERLAP if exposed > 0 else 0
         busy_until = issue + self.fence_cycles + exposed
-        self._free_at[core] = max(self._free_at.get(core, 0), busy_until)
+        if busy_until > self._free_at.get(core, 0):
+            self._free_at[core] = busy_until
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     op: MemOp
     result: AccessResult
@@ -83,6 +86,12 @@ class CoreModel:
         self.atomics = atomics or AtomicsArbiter(config.atomic_fence_cycles)
         self.stats = Stats()
         self._window: deque[_InFlight] = deque()
+        # Flights whose consumers still occupy issue-queue slots, in window
+        # (append) order.  Retired flights are removed lazily: they stay in
+        # the deque with ``in_iq`` already cleared and get skipped/popped on
+        # the next drain, so the per-op IQ scan touches only IQ residents
+        # instead of the whole ROB window.
+        self._iq_flights: deque[_InFlight] = deque()
         self._rob_used = 0
         self._iq_used = 0
         self._lq_used = 0
@@ -118,11 +127,21 @@ class CoreModel:
 
     def _drain_iq(self, now: float) -> None:
         """Free IQ slots whose load completed by wall-clock ``now``."""
-        for flight in self._window:
-            if (flight.in_iq and flight.result.complete >= 0
-                    and flight.result.complete <= now):
+        if not self._iq_used:
+            if self._iq_flights:
+                self._iq_flights.clear()   # only lazily-retired leftovers
+            return
+        flights = self._iq_flights
+        for _ in range(len(flights)):
+            flight = flights.popleft()
+            if not flight.in_iq:
+                continue
+            complete = flight.result.complete
+            if 0 <= complete <= now:
                 flight.in_iq = False
                 self._iq_used -= flight.iq_instrs
+            else:
+                flights.append(flight)
 
     def _retire_oldest(self, forced: bool = False) -> None:
         flight = self._window.popleft()
@@ -135,16 +154,19 @@ class CoreModel:
             self._lq_used -= 1
         else:
             self._sq_used -= 1
-        self._finish = max(self._finish, done)
+        if done > self._finish:
+            self._finish = done
         if forced:
             # Structural stall: fetch was blocked until the ROB head
             # completed — this head-of-line burstiness is what keeps the
             # baseline's sustained request rate (and the controller's
             # request-buffer occupancy) low (Section 6.2).
-            self._fetch_time = max(self._fetch_time, float(done))
+            if done > self._fetch_time:
+                self._fetch_time = float(done)
         else:
-            self._fetch_time = max(self._fetch_time,
-                                   done - self._window_span_cycles())
+            refill = done - self._rob_used / self.config.width
+            if refill > self._fetch_time:
+                self._fetch_time = refill
 
     def _window_span_cycles(self) -> float:
         # Time the remaining window contents take to refill the frontend.
@@ -176,7 +198,10 @@ class CoreModel:
         op = self._trace.ops[self._next]
         self._next += 1
         cfg = self.config
+        counters = self.stats.counters
+        window = self._window
         instrs = 1 + op.extra_instrs
+        is_load = op.kind is AccessType.LOAD
 
         # Frontend: fetch/decode bandwidth.
         self._fetch_time += instrs / cfg.width
@@ -187,71 +212,87 @@ class CoreModel:
         # consumer instructions of every outstanding miss sit unissued in
         # the 50-entry issue queue, so only a few iterations' misses can be
         # in flight at once (the paper's Section 6.2 analysis).
-        while self._window and self._rob_used + instrs > cfg.rob_size:
-            self.stats.add("rob_stalls")
+        while window and self._rob_used + instrs > cfg.rob_size:
+            counters["rob_stalls"] += 1
             self._retire_oldest(forced=True)
-        self._drain_iq(self._fetch_time)
-        while self._iq_used + instrs > cfg.iq_size:
-            # Wait (wall-clock) for the oldest miss holding IQ slots.
-            oldest_iq = next((f for f in self._window if f.in_iq), None)
-            if oldest_iq is None:
-                break
-            self.stats.add("iq_stalls")
-            done = self._complete(oldest_iq)
-            self._fetch_time = max(self._fetch_time, float(done))
+        # ``_iq_used`` is only consulted here, so draining can wait until
+        # the (over-)estimate signals pressure: if the undrained count fits,
+        # the drained one fits too and the stall loop is skipped either way.
+        if self._iq_used + instrs > cfg.iq_size:
             self._drain_iq(self._fetch_time)
-        if op.kind == AccessType.LOAD:
-            while self._window and self._lq_used >= cfg.lq_size:
-                self.stats.add("lq_stalls")
+            while self._iq_used + instrs > cfg.iq_size:
+                # Wait (wall-clock) for the oldest miss holding IQ slots.
+                iq_flights = self._iq_flights
+                while iq_flights and not iq_flights[0].in_iq:
+                    iq_flights.popleft()   # retired lazily; discard
+                if not iq_flights:
+                    break
+                counters["iq_stalls"] += 1
+                done = self._complete(iq_flights[0])
+                if done > self._fetch_time:
+                    self._fetch_time = float(done)
+                self._drain_iq(self._fetch_time)
+        if is_load:
+            while window and self._lq_used >= cfg.lq_size:
+                counters["lq_stalls"] += 1
                 self._retire_oldest(forced=True)
         else:
-            while self._window and self._sq_used >= cfg.sq_size:
-                self.stats.add("sq_stalls")
+            while window and self._sq_used >= cfg.sq_size:
+                counters["sq_stalls"] += 1
                 self._retire_oldest(forced=True)
-        dispatch = max(dispatch, self._fetch_time)
+        if self._fetch_time > dispatch:
+            dispatch = self._fetch_time
 
         # Data dependences: the address is ready when producers complete.
-        issue = max(int(dispatch), self._dep_ready(op))
+        issue = int(dispatch)
+        if op.deps:
+            ready = self._dep_ready(op)
+            if ready > issue:
+                issue = ready
 
         if op.atomic:
             issue = self.atomics.acquire(self.core_id, issue)
-            self.stats.add("atomics")
+            counters["atomics"] += 1
 
         result = self.hierarchy.access(self.core_id, op.addr,
                                        op.kind.is_write, issue, pc=op.pc,
                                        tag=op.tag)
         op.issue = result.issue
         op.level = result.level
-        if result.complete >= 0:
-            op.complete = result.complete
+        complete = result.complete
+        if complete >= 0:
+            op.complete = complete
 
         if op.atomic:
             # The line lock / fence delays this core's next atomic.
             op.complete = result.resolve(self.dram)
             self.atomics.release(self.core_id, issue, op.complete)
+            complete = result.complete
 
         flight = _InFlight(op, result, instrs)
-        if result.complete < 0:
+        if complete < 0:
             # Miss: the op and roughly half its attributed instructions
             # (the value consumers) wait in the issue queue until the line
             # returns; the rest (address generation, control) issued early.
             flight.iq_instrs = 1 + op.extra_instrs // 2
             flight.in_iq = True
             self._iq_used += flight.iq_instrs
-        self._window.append(flight)
+            self._iq_flights.append(flight)
+        window.append(flight)
         self._rob_used += instrs
-        if op.kind == AccessType.LOAD:
+        if is_load:
             self._lq_used += 1
         else:
             self._sq_used += 1
-        self.stats.add("ops")
-        self.stats.add("instructions", instrs)
+        counters["ops"] += 1
+        counters["instructions"] += instrs
         return op
 
     def drain(self) -> int:
         """Retire everything outstanding; returns the core's finish cycle."""
         while self._window:
             self._retire_oldest()
+        self._iq_flights.clear()   # all retired above; drop stale refs
         tail = self._trace.tail_instrs if self._trace else 0
         if tail:
             self.stats.add("instructions", tail)

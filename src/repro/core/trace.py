@@ -51,15 +51,18 @@ class TraceBuilder:
     def _emit(self, kind: AccessType, addr: int, size: int,
               deps: tuple[int, ...], extra: int, atomic: bool,
               pc: int, tag: int) -> int:
-        for d in deps:
-            if not 0 <= d < len(self._trace.ops):
-                raise ValueError(f"dependence on unknown op {d}")
+        ops = self._trace.ops
+        if deps:
+            n = len(ops)
+            for d in deps:
+                if not 0 <= d < n:
+                    raise ValueError(f"dependence on unknown op {d}")
         op = MemOp(kind=kind, addr=addr, size=size, deps=deps,
                    extra_instrs=extra + self._pending_extra,
                    atomic=atomic, pc=pc, tag=tag)
         self._pending_extra = 0
-        self._trace.ops.append(op)
-        return len(self._trace.ops) - 1
+        ops.append(op)
+        return len(ops) - 1
 
     def load(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
              extra: int = 0, pc: int = 0, tag: int = -1) -> int:

@@ -47,20 +47,42 @@ class AddressMapper:
             self._fields.append((name, shift, widths[name]))
             shift += widths[name]
         self.total_bits = shift
+        # Decode plan specialized per field, shifted down to line-index
+        # space (addr >> offset_bits) so one key covers every byte offset
+        # within a line: (shift, mask) pairs in DRAMCoord argument order.
+        plan = {
+            name: (fshift - self.offset_bits, (1 << width) - 1)
+            for name, fshift, width in self._fields
+        }
+        self._decode = tuple(
+            plan[name] for name in
+            ("channel", "rank", "bankgroup", "bank", "row", "column")
+        )
+        # Line-index -> DRAMCoord memo.  Indirect workloads revisit the
+        # same lines heavily (indices repeat across tiles), so decodes hit
+        # this dict far more often than they compute.  Coordinates are
+        # immutable once built, so sharing one object per line is safe.
+        self._map_cache: dict[int, DRAMCoord] = {}
+        self._map_cache_cap = 1 << 17
 
     def map(self, addr: int) -> DRAMCoord:
         """Decode a physical byte address into DRAM coordinates."""
-        values = {}
-        for name, shift, width in self._fields:
-            values[name] = (addr >> shift) & ((1 << width) - 1)
-        return DRAMCoord(
-            channel=values["channel"],
-            rank=values["rank"],
-            bankgroup=values["bankgroup"],
-            bank=values["bank"],
-            row=values["row"],
-            column=values["column"],
-        )
+        key = addr >> self.offset_bits
+        coord = self._map_cache.get(key)
+        if coord is None:
+            if len(self._map_cache) >= self._map_cache_cap:
+                self._map_cache.clear()
+            d = self._decode
+            coord = DRAMCoord(
+                channel=(key >> d[0][0]) & d[0][1],
+                rank=(key >> d[1][0]) & d[1][1],
+                bankgroup=(key >> d[2][0]) & d[2][1],
+                bank=(key >> d[3][0]) & d[3][1],
+                row=(key >> d[4][0]) & d[4][1],
+                column=(key >> d[5][0]) & d[5][1],
+            )
+            self._map_cache[key] = coord
+        return coord
 
     def unmap(self, coord: DRAMCoord) -> int:
         """Reconstruct the (line-aligned) physical address of a coordinate."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.common.config import DDR4Timing
 
 
-@dataclass
+@dataclass(slots=True)
 class BankState:
     """Timing state for one DRAM bank (open-page policy)."""
 
@@ -30,27 +30,37 @@ class BankState:
     def activate(self, row: int, t_act: int, timing: DDR4Timing) -> None:
         self.open_row = row
         self.last_act = t_act
-        self.col_ready = max(self.col_ready, t_act + timing.tRCD)
+        t = t_act + timing.tRCD
+        if t > self.col_ready:
+            self.col_ready = t
         # The row must stay open tRAS before it may be precharged.
-        self.pre_ready = max(self.pre_ready, t_act + timing.tRAS)
-        self.act_ready = max(self.act_ready, t_act + timing.tRC)
+        t = t_act + timing.tRAS
+        if t > self.pre_ready:
+            self.pre_ready = t
+        t = t_act + timing.tRC
+        if t > self.act_ready:
+            self.act_ready = t
 
     def precharge(self, t_pre: int, timing: DDR4Timing) -> None:
         self.open_row = None
-        self.act_ready = max(self.act_ready, t_pre + timing.tRP)
+        t = t_pre + timing.tRP
+        if t > self.act_ready:
+            self.act_ready = t
 
     def column_read(self, t_col: int, timing: DDR4Timing) -> None:
         # Read-to-precharge spacing.
-        self.pre_ready = max(self.pre_ready, t_col + timing.tRTP)
+        t = t_col + timing.tRTP
+        if t > self.pre_ready:
+            self.pre_ready = t
 
     def column_write(self, t_col: int, timing: DDR4Timing) -> None:
         # Write recovery: data lands tCWL+tBL after the command, then tWR.
-        self.pre_ready = max(
-            self.pre_ready, t_col + timing.tCWL + timing.tBL + timing.tWR
-        )
+        t = t_col + timing.tCWL + timing.tBL + timing.tWR
+        if t > self.pre_ready:
+            self.pre_ready = t
 
 
-@dataclass
+@dataclass(slots=True)
 class RankState:
     """Shared activate-rate limits for all banks of one rank."""
 
@@ -62,8 +72,11 @@ class RankState:
         """Earliest cycle an ACT may issue in this rank, per tRRD and tFAW."""
         spacing = timing.tRRD_L if bankgroup == self.last_act_bg else timing.tRRD_S
         t = self.last_act + spacing
-        if len(self.last_act_times) >= 4:
-            t = max(t, self.last_act_times[-4] + timing.tFAW)
+        times = self.last_act_times
+        if len(times) >= 4:
+            faw = times[-4] + timing.tFAW
+            if faw > t:
+                t = faw
         return t
 
     def record_act(self, bankgroup: int, t_act: int) -> None:
@@ -74,7 +87,7 @@ class RankState:
             del self.last_act_times[:-4]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelBusState:
     """Column-command / data-bus serialization for one channel."""
 
@@ -97,10 +110,14 @@ class ChannelBusState:
         t = self.last_col + spacing
         # Bus turnaround between reads and writes.
         if self.last_was_write != is_write:
-            t = max(t, self.last_col + timing.tCCD_L)
+            turn = self.last_col + timing.tCCD_L
+            if turn > t:
+                t = turn
         # The data burst must find the data bus free.
         latency = timing.tCWL if is_write else timing.tCL
-        t = max(t, self.data_free - latency)
+        free = self.data_free - latency
+        if free > t:
+            t = free
         return t
 
     def record_col(self, bankgroup: int, t_col: int, is_write: bool,

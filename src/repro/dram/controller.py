@@ -13,6 +13,13 @@ request (or all requests) complete.  Commands for different banks overlap
 through per-bank ready times; the channel column/data bus is the global
 serialization point, so controller time advances monotonically along column
 command issue times.
+
+Schedulers come in two flavours (see :mod:`repro.dram.scheduler`): indexed
+ones expose ``insert``/``take`` plus bank-state callbacks and are driven
+incrementally — the controller feeds them on buffer refill and notifies
+them of every ACT/PRE so the next pick is a few heap peeks; stateless ones
+only answer :meth:`Scheduler.pick` over the whole buffer and are rescanned
+per pick (the reference/oracle path).
 """
 
 from __future__ import annotations
@@ -31,12 +38,13 @@ class MemoryController:
     """Timing model of a single DDR4 channel."""
 
     def __init__(self, channel: int, config: DRAMConfig,
-                 mapper: AddressMapper) -> None:
+                 mapper: AddressMapper, scheduler=None,
+                 command_log_limit: int | None = None) -> None:
         self.channel = channel
         self.config = config
         self.timing = config.timing
         self.mapper = mapper
-        self.scheduler = make_scheduler(config.scheduler)
+        self.scheduler = scheduler or make_scheduler(config.scheduler)
         self.banks: dict[tuple, BankState] = {}
         self.ranks: dict[int, RankState] = {}
         self.bus = ChannelBusState()
@@ -45,6 +53,14 @@ class MemoryController:
         self.time = 0
         self.stats = Stats()
         self._last_occ_time = 0
+        self._buffer_cap = config.request_buffer
+        self._line_bytes = config.line_bytes
+        # Indexed-scheduler fast path: feed inserts/takes and bank-state
+        # changes to the scheduler instead of rescanning the buffer.
+        self._sched_take = getattr(self.scheduler, "take", None)
+        self._sched_insert = getattr(self.scheduler, "insert", None)
+        self._on_activate = getattr(self.scheduler, "notify_activate", None)
+        self._on_precharge = getattr(self.scheduler, "notify_precharge", None)
         # Command-stream observers: each is called as
         # ``obs(kind, cycle, (channel, rank, bankgroup, bank), row)`` at the
         # moment a command's issue cycle is decided.  The legality auditor
@@ -52,6 +68,13 @@ class MemoryController:
         # ``command_log`` recorder both attach here.
         self.command_observers: list = []
         self.command_log: list[tuple] = []
+        # Bound on ``command_log`` growth (None = unlimited, the default).
+        # A full sweep with ``record_commands`` on accumulates hundreds of
+        # thousands of command tuples per channel; with a limit the log
+        # keeps the *first* ``command_log_limit`` commands (a legal prefix,
+        # still replayable through the auditor) and counts the rest in the
+        # ``command_log_dropped`` statistic.
+        self.command_log_limit = command_log_limit
 
     # ------------------------------------------------------------- observers
 
@@ -70,6 +93,10 @@ class MemoryController:
 
     def _record_command(self, kind: str, cycle: int, bank: tuple,
                         row: int) -> None:
+        limit = self.command_log_limit
+        if limit is not None and len(self.command_log) >= limit:
+            self.stats.add("command_log_dropped")
+            return
         self.command_log.append((kind, cycle, bank, row))
 
     def _emit(self, kind: str, cycle: int, coord: DRAMCoord) -> None:
@@ -87,11 +114,9 @@ class MemoryController:
                 f"request for channel {coord.channel} routed to {self.channel}"
             )
         self.input_queue.append((req, coord))
-        self.stats.add("requests")
-        if req.is_write:
-            self.stats.add("writes")
-        else:
-            self.stats.add("reads")
+        counters = self.stats.counters
+        counters["requests"] += 1
+        counters["writes" if req.is_write else "reads"] += 1
 
     @property
     def pending(self) -> int:
@@ -101,10 +126,18 @@ class MemoryController:
 
     def _refill(self) -> None:
         """Move arrived requests into free buffer slots, oldest first."""
-        while (self.input_queue
-               and len(self.buffer) < self.config.request_buffer
-               and self.input_queue[0][0].arrival <= self.time):
-            self.buffer.append(self.input_queue.popleft())
+        queue = self.input_queue
+        if not queue:
+            return
+        buffer = self.buffer
+        cap = self._buffer_cap
+        now = self.time
+        insert = self._sched_insert
+        while queue and len(buffer) < cap and queue[0][0].arrival <= now:
+            item = queue.popleft()
+            buffer.append(item)
+            if insert is not None:
+                insert(item)
 
     def _note_occupancy(self, now: int) -> None:
         dt = now - self._last_occ_time
@@ -115,7 +148,8 @@ class MemoryController:
     def service_one(self) -> DRAMRequest | None:
         """Schedule and complete one request; returns it, or None if idle."""
         self._refill()
-        if not self.buffer:
+        buffer = self.buffer
+        if not buffer:
             if not self.input_queue:
                 return None
             # Idle gap: jump to the next arrival.
@@ -123,14 +157,23 @@ class MemoryController:
             self.time = max(self.time, self.input_queue[0][0].arrival)
             self._last_occ_time = self.time
             self._refill()
-        idx = self.scheduler.pick(self.buffer, self.banks,
-                                  self.bus.last_was_write, self.time)
-        req, coord = self.buffer.pop(idx)
+        take = self._sched_take
+        if take is not None:
+            item = take(self.bus.last_was_write, self.time)
+            for i, held in enumerate(buffer):
+                if held is item:
+                    del buffer[i]
+                    break
+            req, coord = item
+        else:
+            idx = self.scheduler.pick(buffer, self.banks,
+                                      self.bus.last_was_write, self.time)
+            req, coord = buffer.pop(idx)
         self._execute(req, coord)
         return req
 
     def service_until_done(self, req: DRAMRequest) -> None:
-        while not req.done:
+        while req.finish < 0:
             if self.service_one() is None:
                 raise RuntimeError("request never enqueued on this channel")
 
@@ -156,35 +199,61 @@ class MemoryController:
 
     def _execute(self, req: DRAMRequest, coord: DRAMCoord) -> None:
         timing = self.timing
-        bank = self._bank(coord)
-        rank = self._rank(coord)
-        earliest = max(self.time, req.arrival)
+        counters = self.stats.counters
+        observers = self.command_observers
+        flat_bank = coord.flat_bank
+        bank = self.banks.get(flat_bank)
+        if bank is None:
+            bank = BankState()
+            self.banks[flat_bank] = bank
+        earliest = self.time
+        if req.arrival > earliest:
+            earliest = req.arrival
 
-        if bank.is_hit(coord.row):
-            self.stats.add("row_hits")
+        if bank.open_row == coord.row:
+            counters["row_hits"] += 1
             req.row_hit = True
-            t_col_min = max(earliest, bank.col_ready)
+            t_col_min = bank.col_ready
+            if earliest > t_col_min:
+                t_col_min = earliest
         else:
+            rank = self.ranks.get(coord.rank)
+            if rank is None:
+                rank = RankState()
+                self.ranks[coord.rank] = rank
             if bank.open_row is not None:
-                self.stats.add("row_conflicts")
-                t_pre = max(earliest, bank.pre_ready)
+                counters["row_conflicts"] += 1
+                t_pre = bank.pre_ready
+                if earliest > t_pre:
+                    t_pre = earliest
                 bank.precharge(t_pre, timing)
-                self._emit("PRE", t_pre, coord)
+                if self._on_precharge is not None:
+                    self._on_precharge(flat_bank)
+                if observers:
+                    self._emit("PRE", t_pre, coord)
             else:
-                self.stats.add("row_empty")
-            t_act = max(earliest, bank.act_ready,
-                        rank.earliest_act(coord.bankgroup, timing))
+                counters["row_empty"] += 1
+            t_act = bank.act_ready
+            if earliest > t_act:
+                t_act = earliest
+            rank_ready = rank.earliest_act(coord.bankgroup, timing)
+            if rank_ready > t_act:
+                t_act = rank_ready
             bank.activate(coord.row, t_act, timing)
             rank.record_act(coord.bankgroup, t_act)
-            self._emit("ACT", t_act, coord)
+            if self._on_activate is not None:
+                self._on_activate(flat_bank, coord.row)
+            if observers:
+                self._emit("ACT", t_act, coord)
             t_col_min = bank.col_ready
 
-        t_col = max(
-            t_col_min,
-            self.bus.earliest_col(coord.bankgroup, req.is_write, timing),
-        )
-        self.bus.record_col(coord.bankgroup, t_col, req.is_write, timing)
-        self._emit("WR" if req.is_write else "RD", t_col, coord)
+        bus = self.bus
+        t_col = bus.earliest_col(coord.bankgroup, req.is_write, timing)
+        if t_col_min > t_col:
+            t_col = t_col_min
+        bus.record_col(coord.bankgroup, t_col, req.is_write, timing)
+        if observers:
+            self._emit("WR" if req.is_write else "RD", t_col, coord)
         if req.is_write:
             bank.column_write(t_col, timing)
             req.finish = t_col + timing.tCWL + timing.tBL
@@ -198,14 +267,25 @@ class MemoryController:
             # the column command's tRTP / tWR recovery window.
             t_pre = bank.pre_ready
             bank.precharge(t_pre, timing)
-            self._emit("PRE", t_pre, coord)
+            if self._on_precharge is not None:
+                self._on_precharge(flat_bank)
+            if observers:
+                self._emit("PRE", t_pre, coord)
 
         self._note_occupancy(t_col)
-        self.time = max(self.time, t_col)
-        self.stats.add("serviced")
-        self.stats.add("bytes", self.config.line_bytes)
-        self.stats.note_min("first_arrival", req.arrival)
-        self.stats.note_max("last_finish", req.finish)
+        if t_col > self.time:
+            self.time = t_col
+        counters["serviced"] += 1
+        counters["bytes"] += self._line_bytes
+        stats = self.stats
+        mins = stats.mins
+        cur = mins.get("first_arrival")
+        if cur is None or req.arrival < cur:
+            mins["first_arrival"] = req.arrival
+        maxs = stats.maxs
+        cur = maxs.get("last_finish")
+        if cur is None or req.finish > cur:
+            maxs["last_finish"] = req.finish
 
     # ------------------------------------------------------------- metrics
 

@@ -17,6 +17,7 @@ from repro.common.config import SystemConfig
 from repro.dx100.api import RegWrite, WaitTiles
 from repro.dx100.isa import Instr
 from repro.sim.metrics import RunResult, collect
+from repro.sim.profile import NULL_TIMERS, StageTimers
 from repro.sim.system import SimSystem
 from repro.workloads.base import CoreWork, Workload
 
@@ -29,26 +30,38 @@ ISSUE_INSTRS = 3  # three 64-bit memory-mapped stores per instruction
 
 
 def run_baseline(workload: Workload, config: SystemConfig | None = None,
-                 warm: bool = True) -> RunResult:
-    """Run a workload's legacy multicore code (optionally with DMP)."""
+                 warm: bool = True,
+                 timers: StageTimers | None = None) -> RunResult:
+    """Run a workload's legacy multicore code (optionally with DMP).
+
+    ``timers`` (see :mod:`repro.sim.profile`) attributes wall-clock to the
+    run's coarse stages — generate, warm, simulate, collect — for the
+    profiling harness; the default null timer adds no overhead.
+    """
+    timers = timers or NULL_TIMERS
     config = config or SystemConfig.baseline()
     system = SimSystem(config)
-    workload.generate(system.hostmem)
+    with timers.stage("generate"):
+        workload.generate(system.hostmem)
     if warm and hasattr(workload, "warm_lines"):
-        system.warm(workload.warm_lines())
+        with timers.stage("warm"):
+            system.warm(workload.warm_lines())
     cores = 1 if workload.single_core_baseline else config.cores
-    traces = workload.baseline_traces(cores)
+    with timers.stage("trace"):
+        traces = workload.baseline_traces(cores)
     if system.dmp is not None:
         for pc, addrs in workload.dmp_streams().items():
             system.dmp.register_stream(pc, addrs)
-    finish = system.multicore.run(traces)
+    with timers.stage("simulate"):
+        finish = system.multicore.run(traces)
     instructions = (system.multicore.total_instructions()
                     + workload.non_roi_instructions())
     extra = {}
     if system.dmp is not None:
         extra["dmp_prefetches"] = system.dmp.stats.get("dmp_prefetches")
-    return collect(system, workload.name, config.name, finish, instructions,
-                   extra)
+    with timers.stage("collect"):
+        return collect(system, workload.name, config.name, finish,
+                       instructions, extra)
 
 
 def run_dmp(workload: Workload, cores: int = 4,
@@ -83,62 +96,73 @@ def software_pipeline(schedule: list) -> list:
 
 def run_dx100(workload: Workload, config: SystemConfig | None = None,
               warm: bool = True, validate: bool = True,
-              pipelined: bool = False) -> RunResult:
+              pipelined: bool = False,
+              timers: StageTimers | None = None) -> RunResult:
     """Run the offloaded code: DX100 schedule + residual core work,
     synchronized through scratchpad ready bits, then validate.
 
     ``pipelined=True`` applies :func:`software_pipeline` (double
-    buffering); the default keeps the workload's own ordering."""
+    buffering); the default keeps the workload's own ordering.
+    ``timers`` attributes wall-clock to the coarse stages (generate, warm,
+    preload, schedule, validate, collect) for the profiling harness."""
+    timers = timers or NULL_TIMERS
     config = config or SystemConfig.dx100_system()
     if config.dx100 is None:
         raise ValueError("run_dx100 needs a DX100 configuration")
     system = SimSystem(config)
     dx = system.dx100
-    workload.generate(system.hostmem)
+    with timers.stage("generate"):
+        workload.generate(system.hostmem)
     if warm and hasattr(workload, "warm_lines"):
-        system.warm(workload.warm_lines())
+        with timers.stage("warm"):
+            system.warm(workload.warm_lines())
     # PTE transfer for all touched memory (Section 3.6).
-    dx.preload_pages(system.hostmem.base,
-                     system.hostmem.base + system.hostmem.size)
+    with timers.stage("preload"):
+        dx.preload_pages(system.hostmem.base,
+                         system.hostmem.base + system.hostmem.size)
 
-    schedule = workload.dx100_schedule(config.dx100, config.cores)
-    if pipelined:
-        schedule = software_pipeline(schedule)
+    with timers.stage("schedule"):
+        schedule = workload.dx100_schedule(config.dx100, config.cores)
+        if pipelined:
+            schedule = software_pipeline(schedule)
     t = 0
     issue_instrs = 0.0
-    for item in schedule:
-        if isinstance(item, RegWrite):
-            dx.write_register(item.reg, item.value)
-            t += 1
-            issue_instrs += 1
-        elif isinstance(item, Instr):
-            dx.dispatch(item, t)
-            t += ISSUE_INSTRS
-            issue_instrs += ISSUE_INSTRS
-        elif isinstance(item, WaitTiles):
-            resume = dx.wait(item.tiles, t)
-            spins = min((resume - t) // SPIN_PERIOD, SPIN_CAP)
-            issue_instrs += WAIT_BASE_INSTRS + spins
-            t = resume
-            for tile in item.tiles:
-                dx.mark_consumed(tile)
-        elif isinstance(item, CoreWork):
-            t = system.multicore.run(item.traces, at=t)
-        else:
-            raise TypeError(f"unknown schedule item {item!r}")
-    # The run ends when both the cores and the accelerator are done.
-    if dx.records:
-        t = max(t, max(r.finish for r in dx.records))
+    with timers.stage("simulate"):
+        for item in schedule:
+            if isinstance(item, RegWrite):
+                dx.write_register(item.reg, item.value)
+                t += 1
+                issue_instrs += 1
+            elif isinstance(item, Instr):
+                dx.dispatch(item, t)
+                t += ISSUE_INSTRS
+                issue_instrs += ISSUE_INSTRS
+            elif isinstance(item, WaitTiles):
+                resume = dx.wait(item.tiles, t)
+                spins = min((resume - t) // SPIN_PERIOD, SPIN_CAP)
+                issue_instrs += WAIT_BASE_INSTRS + spins
+                t = resume
+                for tile in item.tiles:
+                    dx.mark_consumed(tile)
+            elif isinstance(item, CoreWork):
+                t = system.multicore.run(item.traces, at=t)
+            else:
+                raise TypeError(f"unknown schedule item {item!r}")
+        # The run ends when both the cores and the accelerator are done.
+        if dx.records:
+            t = max(t, max(r.finish for r in dx.records))
     instructions = (system.multicore.total_instructions() + issue_instrs
                     + workload.non_roi_instructions())
     if validate:
-        workload.validate_dx(dx, system.hostmem)
+        with timers.stage("validate"):
+            workload.validate_dx(dx, system.hostmem)
     extra = {
         "dx100_instructions": dx.stats.get("instructions"),
         "coalescing": _mean_coalescing(dx),
     }
-    return collect(system, workload.name, config.name, t, instructions,
-                   extra)
+    with timers.stage("collect"):
+        return collect(system, workload.name, config.name, t, instructions,
+                       extra)
 
 
 def _mean_coalescing(dx) -> float:

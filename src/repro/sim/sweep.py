@@ -257,6 +257,19 @@ class SweepOutcome:
             out.setdefault(run.task.benchmark, {})[run.task.mode] = run.result
         return out
 
+    def wall_by_benchmark(self) -> dict[str, dict[str, float]]:
+        """benchmark -> mode -> simulation wall seconds (0.0 = cache hit).
+
+        The per-(workload, config) wall-clock view both JSON records carry,
+        so perf regressions can be pinned to the workload that slowed down
+        rather than inferred from the grid total.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for run in self.runs:
+            out.setdefault(run.task.benchmark, {})[run.task.mode] = round(
+                run.wall, 3)
+        return out
+
     def speedups(self, over: str = "baseline",
                  of: str = "dx100") -> dict[str, float]:
         table = self.nested()
@@ -273,6 +286,7 @@ class SweepOutcome:
             "model_version": model_version(),
             "jobs": self.jobs,
             "wall_s": round(self.wall, 3),
+            "wall_by_benchmark": self.wall_by_benchmark(),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "runs": [
@@ -318,6 +332,7 @@ class SweepOutcome:
             "model_version": model_version(),
             "jobs": self.jobs,
             "wall_s": round(self.wall, 3),
+            "wall_by_benchmark": self.wall_by_benchmark(),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "speedups_dx100": {k: round(v, 4) for k, v in speedups.items()},

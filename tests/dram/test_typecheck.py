@@ -1,0 +1,34 @@
+"""Replay the CI mypy check locally when mypy is installed.
+
+The Scheduler protocol's signatures are what keep the controller's
+indexed fast path honest (``insert``/``take`` vs the stateless ``pick``),
+so ``repro/dram`` is type-checked in CI.  Environments without mypy skip
+this test rather than fail — the CI job is the enforcement point.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _have_mypy() -> bool:
+    try:
+        import mypy  # noqa: F401
+        return True
+    except ImportError:
+        return shutil.which("mypy") is not None
+
+
+@pytest.mark.skipif(not _have_mypy(), reason="mypy not installed")
+def test_dram_package_typechecks():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
+         "src/repro/dram"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
