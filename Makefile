@@ -7,7 +7,8 @@ RUN_REPRO = PYTHONPATH=src $(PYTHON) -m repro
 SWEEP_JOBS = $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: install test audit sweep sweep-quick golden-check golden-update \
-        profile bench bench-quick figures examples clean
+        profile timeline trace-smoke bench bench-quick figures examples \
+        clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +43,19 @@ golden-update:
 PROFILE_ARGS ?= IS --quick
 profile:
 	$(RUN_REPRO) profile $(PROFILE_ARGS)
+
+# Observability: ASCII timeline of one run (TIMELINE_ARGS to customize,
+# e.g. TIMELINE_ARGS="PR --mode baseline --sample-every 500").
+TIMELINE_ARGS ?= IS --quick
+timeline:
+	$(RUN_REPRO) timeline $(TIMELINE_ARGS)
+
+# The CI trace smoke check: record Chrome traces for two quick benchmarks
+# and validate that every file is Perfetto-loadable.
+trace-smoke:
+	$(RUN_REPRO) run IS PR --quick --configs baseline dx100 \
+		--trace results/trace.json --sample-every 1000
+	PYTHONPATH=src $(PYTHON) -m repro.obs.validate results/trace-*.json
 
 # Figure benches consume the same sweep executor via benchmarks/mainsweep.py,
 # so they inherit the worker pool and the run cache (REPRO_JOBS,

@@ -7,6 +7,8 @@ Usage::
     python -m repro run --all --quick --csv results/results.csv
     python -m repro sweep --quick --jobs 4    # parallel + cached grid
     python -m repro sweep --update-golden     # refresh golden metrics
+    python -m repro run IS --quick --trace results/trace.json
+    python -m repro timeline IS --quick       # ASCII observability timeline
     python -m repro area                      # Table 4
 
 Each run prints a comparison table; ``--csv`` additionally writes the raw
@@ -59,6 +61,14 @@ def _parser() -> argparse.ArgumentParser:
                      help="also write raw metrics as CSV")
     run.add_argument("--stats-dir", metavar="DIR",
                      help="write a full gem5-style stats dump per run")
+    run.add_argument("--trace", metavar="PATH",
+                     help="record a Chrome trace-event JSON (load in "
+                          "Perfetto / chrome://tracing); with several runs "
+                          "the benchmark and config names are inserted "
+                          "before the extension")
+    run.add_argument("--sample-every", type=int, default=0, metavar="N",
+                     help="snapshot the timeline samplers every N cycles "
+                          "(0 = off; --trace alone defaults to 1000)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -94,6 +104,31 @@ def _parser() -> argparse.ArgumentParser:
                        help="diff the quick suite against "
                             "tests/golden/quick_suite.json; exit 1 on any "
                             "mismatch")
+    sweep.add_argument("--sample-every", type=int, default=0, metavar="N",
+                       help="attach the timeline samplers to every run "
+                            "(period N cycles; summaries land in each "
+                            "result's extra fields; 0 = off)")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="run one benchmark with the observability samplers attached "
+             "and print an ASCII timeline (RBH, bandwidth, occupancy, "
+             "tile drains) plus the summary statistics",
+    )
+    timeline.add_argument("benchmark", nargs="?", default="IS",
+                          help="benchmark name (default: IS)")
+    timeline.add_argument("--mode", default="dx100",
+                          choices=sorted(CONFIG_BUILDERS))
+    timeline.add_argument("--quick", action="store_true",
+                          help="use the reduced dataset sizes")
+    timeline.add_argument("--cores", type=int, default=4)
+    timeline.add_argument("--sample-every", type=int, default=1000,
+                          metavar="N",
+                          help="sampling period in cycles (default: 1000)")
+    timeline.add_argument("--width", type=int, default=72,
+                          help="sparkline width in characters (default: 72)")
+    timeline.add_argument("--trace", metavar="PATH",
+                          help="also write the Chrome trace-event JSON")
 
     prof = sub.add_parser(
         "profile",
@@ -136,6 +171,11 @@ def cmd_run(args) -> int:
         print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    sample_every = args.sample_every
+    if args.trace and not sample_every:
+        sample_every = 1000
+    multi = len(names) * len(args.configs) > 1
+
     results: dict[str, dict] = {}
     flat = []
     for name in names:
@@ -146,11 +186,27 @@ def cmd_run(args) -> int:
                 config = replace(config,
                                  dram=replace(config.dram, audit=True))
             wl = registry[name]()
+            obs = None
+            if args.trace or sample_every:
+                from repro.obs.events import EventBus
+                obs = EventBus(trace=bool(args.trace),
+                               sample_every=sample_every)
             if config_name == "dx100":
-                runs[config_name] = run_dx100(wl, config, warm=False)
+                runs[config_name] = run_dx100(wl, config, warm=False,
+                                              obs=obs)
             else:
-                runs[config_name] = run_baseline(wl, config, warm=False)
+                runs[config_name] = run_baseline(wl, config, warm=False,
+                                                 obs=obs)
             flat.append(runs[config_name])
+            if args.trace:
+                from pathlib import Path
+                from repro.obs.trace import write_chrome_trace
+                path = Path(args.trace)
+                if multi:
+                    path = path.with_name(
+                        f"{path.stem}-{name}-{config_name}{path.suffix}")
+                write_chrome_trace(obs, path)
+                print(f"  trace written to {path}", file=sys.stderr)
             print(f"  done: {name} [{config_name}]", file=sys.stderr)
         results[name] = runs
     if args.stats_dir:
@@ -215,6 +271,7 @@ def cmd_sweep(args) -> int:
     outcome = run_main_sweep(
         quick=quick, benchmarks=benchmarks, modes=modes, jobs=args.jobs,
         cache=not args.no_cache, cache_dir=args.cache_dir,
+        sample_every=0 if golden_mode else args.sample_every,
     )
     write_sweep_records(outcome, Path("results"), sweep_json=args.json)
 
@@ -273,6 +330,46 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_timeline(args) -> int:
+    """Run one benchmark with samplers on and print the ASCII timeline."""
+    from repro.obs.events import EventBus
+    from repro.obs.timeline import render_timeline
+
+    registry = QUICK_BENCHMARKS if args.quick else MAIN_BENCHMARKS
+    if args.benchmark not in registry:
+        print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    if args.sample_every <= 0:
+        print("--sample-every must be positive", file=sys.stderr)
+        return 2
+    config = CONFIG_BUILDERS[args.mode](args.cores)
+    wl = registry[args.benchmark]()
+    obs = EventBus(trace=bool(args.trace), sample_every=args.sample_every)
+    if args.mode == "dx100":
+        result = run_dx100(wl, config, warm=False, obs=obs)
+    else:
+        result = run_baseline(wl, config, warm=False, obs=obs)
+
+    print(f"{args.benchmark} [{args.mode}]: {result.cycles} cycles, "
+          f"BW {result.bandwidth_utilization:.2f}, "
+          f"RBH {result.row_buffer_hit_rate:.2f}")
+    print()
+    print(render_timeline(obs.timeline, width=args.width))
+    summary = obs.summary()
+    print()
+    for key in sorted(summary):
+        value = summary[key]
+        shown = f"{value:.4f}" if isinstance(value, float) else value
+        print(f"  {key:<28s} {shown}")
+    if args.trace:
+        from pathlib import Path
+        from repro.obs.trace import write_chrome_trace
+        path = Path(args.trace)
+        write_chrome_trace(obs, path)
+        print(f"\ntrace written to {path}")
+    return 0
+
+
 def cmd_area() -> int:
     """Print the Table 4 area/power breakdown."""
     report = area_power()
@@ -297,6 +394,8 @@ def main(argv=None) -> int:
         return cmd_sweep(args)
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "timeline":
+        return cmd_timeline(args)
     if args.command == "area":
         return cmd_area()
     return 2

@@ -76,6 +76,9 @@ class MemoryHierarchy:
         self._spd_regions: list[tuple[int, int, int]] = []  # (lo, hi, latency)
         # Demand-access observers (the DMP engine registers one).
         self.observers: list = []
+        # Observability bus (:class:`repro.obs.events.EventBus`); None when
+        # observability is off, so the hot paths pay one branch only.
+        self.obs = None
         # Per-level latencies, hoisted off the config dataclasses for the
         # per-access walk.
         self._l1_latency = config.l1.latency
@@ -134,6 +137,8 @@ class MemoryHierarchy:
         if self.observers:
             for observer in self.observers:
                 observer(core, addr, pc, tag, result.issue)
+        if self.obs is not None and result.request is not None:
+            self.obs.core_miss(core, result.issue)
         return result
 
     def prefetch_into(self, core: int, line: int, t: int) -> None:
@@ -235,6 +240,8 @@ class MemoryHierarchy:
             return AccessResult(HitLevel.LLC, issue=t,
                                 complete=t + self._llc_latency)
         counters["llc_misses"] += 1
+        if self.obs is not None:
+            self.obs.llc_miss(t)
         if self._spd_regions:
             spd_latency = self._spd_latency(line)
             if spd_latency is not None:

@@ -32,7 +32,7 @@ class MSHREntry:
 class MSHRFile:
     """Bounded set of outstanding misses with same-line coalescing."""
 
-    __slots__ = ("capacity", "name", "stats", "_entries", "_counters",
+    __slots__ = ("capacity", "name", "stats", "obs", "_entries", "_counters",
                  "_key_coalesced", "_key_allocations")
 
     def __init__(self, capacity: int, stats: Stats | None = None,
@@ -42,6 +42,8 @@ class MSHRFile:
         self.capacity = capacity
         self.name = name
         self.stats = stats if stats is not None else Stats()
+        # Observability bus; None (one branch on allocate) unless attached.
+        self.obs = None
         self._entries: OrderedDict[int, MSHREntry] = OrderedDict()
         # Hot-path counter access: the counters dict is a defaultdict and
         # its identity is stable, so bump it directly with precomputed keys
@@ -85,6 +87,9 @@ class MSHRFile:
         entry = MSHREntry(line_addr=line_addr, allocated_at=allocated_at)
         entries[line_addr] = entry
         self._counters[self._key_allocations] += 1.0
+        if self.obs is not None:
+            self.obs.mshr_occupancy(self.name, allocated_at, len(entries),
+                                    self.capacity)
         return entry
 
     def release(self, line_addr: int) -> MSHREntry:

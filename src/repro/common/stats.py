@@ -66,6 +66,11 @@ class Stats:
             return default
         return self._wsum[name] / w
 
+    def mean_names(self) -> tuple[str, ...]:
+        """Names of every weighted-average series observed so far (the
+        public face of the internal accumulators, for stats dumps)."""
+        return tuple(self._wweight)
+
     def ratio(self, num: str, den: str, default: float = 0.0) -> float:
         d = self.counters.get(den, 0.0)
         if d == 0.0:

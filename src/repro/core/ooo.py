@@ -85,6 +85,8 @@ class CoreModel:
         self.dram = dram
         self.atomics = atomics or AtomicsArbiter(config.atomic_fence_cycles)
         self.stats = Stats()
+        # Observability bus; None (one branch on forced retire) when off.
+        self.obs = None
         self._window: deque[_InFlight] = deque()
         # Flights whose consumers still occupy issue-queue slots, in window
         # (append) order.  Retired flights are removed lazily: they stay in
@@ -162,6 +164,9 @@ class CoreModel:
             # baseline's sustained request rate (and the controller's
             # request-buffer occupancy) low (Section 6.2).
             if done > self._fetch_time:
+                if self.obs is not None:
+                    self.obs.core_span(self.core_id, "rob-blocked",
+                                       self._fetch_time, done)
                 self._fetch_time = float(done)
         else:
             refill = done - self._rob_used / self.config.width

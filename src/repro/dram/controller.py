@@ -64,8 +64,10 @@ class MemoryController:
         # Command-stream observers: each is called as
         # ``obs(kind, cycle, (channel, rank, bankgroup, bank), row)`` at the
         # moment a command's issue cycle is decided.  The legality auditor
-        # (:class:`repro.dram.audit.CommandAuditor`) and the legacy
-        # ``command_log`` recorder both attach here.
+        # (:class:`repro.dram.audit.CommandAuditor`), the observability
+        # event bus (:class:`repro.obs.events.EventBus` — row-open tracks
+        # and the sampled timeline hang off this stream), and the legacy
+        # ``command_log`` recorder all attach here.
         self.command_observers: list = []
         self.command_log: list[tuple] = []
         # Bound on ``command_log`` growth (None = unlimited, the default).

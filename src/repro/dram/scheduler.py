@@ -175,6 +175,10 @@ class FRFCFS(ReferenceFRFCFS):
 
     def __init__(self, age_cap: int = 2000) -> None:
         super().__init__(age_cap)
+        # Observability probe (:class:`repro.obs.events._SchedulerProbe`):
+        # stamped with this scheduler's channel when an EventBus attaches;
+        # publishes age-cap (starvation) overrides.  None when off.
+        self.obs = None
         self._seq = 0
         self._live = 0
         self._dead = 0
@@ -232,6 +236,8 @@ class FRFCFS(ReferenceFRFCFS):
         oldest = any_heap[0]
         if now - oldest[0] > self.age_cap:
             chosen = oldest[2]
+            if self.obs is not None:
+                self.obs.starvation(now)
         else:
             best_dir = best_hit = None
             hot = self._hot

@@ -74,6 +74,8 @@ class DX100:
         self.fuser = RangeFuser()
         self.coherency = CoherencyAgent(stats=self.stats)
         self._unit_free = {"stream": 0, "indirect": 0, "alu": 0, "rng": 0}
+        # Observability bus; None (one branch per dispatch) when off.
+        self.obs = None
         self.records: list[InstrRecord] = []
         lo, hi = self.spd.region()
         hierarchy.register_spd_region(lo, hi, self.config.spd_read_latency)
@@ -149,7 +151,24 @@ class DX100:
         self.records.append(record)
         self.stats.add("instructions")
         self.stats.add(f"op_{instr.opcode.name.lower()}")
+        if self.obs is not None:
+            self._publish(instr, unit, start, finish)
         return record
+
+    def _publish(self, instr: Instr, unit: str, start: int,
+                 finish: int) -> None:
+        """Emit the instruction span and, for stream/ALU ops, the tile
+        lifecycle phase (indirect ops publish their own fill/drain/
+        response/writeback phases from inside the Indirect unit)."""
+        obs = self.obs
+        obs.dx_span(unit, instr.opcode.name, start, finish)
+        op = instr.opcode
+        if op is Opcode.SLD:
+            obs.tile_phase(instr.td, "stream-in", start, finish)
+        elif op is Opcode.SST:
+            obs.tile_phase(instr.ts1, "stream-out", start, finish)
+        elif op in (Opcode.ALUV, Opcode.ALUS):
+            obs.tile_phase(instr.td, "alu", start, finish)
 
     # ------------------------------------------------------------- execution
 
@@ -198,6 +217,7 @@ class DX100:
         res = self.indirect.execute(
             kind, instr.base, instr.dtype, indices, self._cond(instr), src,
             start, op=instr.op, index_avail=index_avail,
+            tile=instr.td if instr.td is not None else instr.ts1,
         )
         return res
 

@@ -71,6 +71,9 @@ class IndirectUnit:
         self.hostmem = hostmem
         self.tlb = tlb
         self.stats = stats if stats is not None else Stats()
+        # Observability bus; None (a couple of branches per *tile*, never
+        # per element) unless an EventBus is attached.
+        self.obs = None
         self.mapper = dram.mapper
         self.line_bytes = hierarchy.line
 
@@ -80,14 +83,16 @@ class IndirectUnit:
                 indices: np.ndarray, cond: np.ndarray | None,
                 src_values: np.ndarray | None, t_start: int,
                 op: AluOp | None = None,
-                index_avail: tuple[int, float] | None = None
-                ) -> IndirectResult:
+                index_avail: tuple[int, float] | None = None,
+                tile: int = -1) -> IndirectResult:
         """Run one indirect instruction.
 
         ``index_avail`` is (t0, rate): element ``e`` of the index tile
         becomes available at ``t0 + e / rate`` — the fine-grained overlap
         with a producing SLD that the scratchpad finish bits enable.
-        ``kind`` is "ld", "st", or "rmw".
+        ``kind`` is "ld", "st", or "rmw".  ``tile`` is a label for the
+        observability layer's tile lifecycle spans (the destination tile
+        for ILD, the index tile for IST/IRMW; -1 = unlabelled).
         """
         if kind not in ("ld", "st", "rmw"):
             raise ValueError(f"unknown indirect kind {kind!r}")
@@ -141,7 +146,7 @@ class IndirectUnit:
                 if not accepted:
                     # Capacity drain, then retry (must succeed on empty table).
                     pending_reqs += self._drain(row_table, int(fill_cursor),
-                                                kind)
+                                                kind, tile)
                     drains += 1
                     accepted, prev = row_table.insert(
                         coord, lines[e], it_list[e], self.hierarchy.snoop)
@@ -149,12 +154,17 @@ class IndirectUnit:
                         raise RuntimeError("insert failed on empty Row Table")
                 word_table.insert(it_list[e], offs[e], prev)
 
-        pending_reqs += self._drain(row_table, int(fill_cursor), kind)
+        pending_reqs += self._drain(row_table, int(fill_cursor), kind, tile)
         drains += 1
+        if self.obs is not None:
+            self.obs.tile_phase(tile, "fill", t_start, int(fill_cursor),
+                                lines=int(iters.size))
 
         # ------------------------------------------------------- response
         finish = int(fill_cursor)
         served = 0
+        wb_lo = wb_hi = -1
+        wb_lines = 0
         for pline, access in pending_reqs:
             completion = access.resolve(self.dram)
             chain = word_table.traverse(pline.tail_i)
@@ -163,6 +173,11 @@ class IndirectUnit:
                 # Write the modified line back through the DRAM interface.
                 wr = self.dram.access(pline.line_addr, is_write=True,
                                       arrival=completion + 1)
+                wb_lines += 1
+                if wb_lo < 0 or wr.arrival < wb_lo:
+                    wb_lo = wr.arrival
+                if wr.arrival > wb_hi:
+                    wb_hi = wr.arrival
                 completion = max(completion, wr.arrival)
             finish = max(finish, completion)
         if iters.size and served != iters.size:
@@ -170,6 +185,12 @@ class IndirectUnit:
                 f"word table served {served} of {iters.size} elements"
             )
         finish += RESPONSE_LATENCY
+        if self.obs is not None:
+            self.obs.tile_phase(tile, "response", int(fill_cursor), finish,
+                                lines=len(pending_reqs))
+            if wb_lines:
+                self.obs.tile_phase(tile, "writeback", wb_lo, wb_hi,
+                                    lines=wb_lines)
 
         # ------------------------------------------------------ functional
         values = None
@@ -197,9 +218,11 @@ class IndirectUnit:
 
     # ---------------------------------------------------------------- drain
 
-    def _drain(self, row_table: RowTable, t: int,
-               kind: str) -> list[tuple[PendingLine, object]]:
+    def _drain(self, row_table: RowTable, t: int, kind: str,
+               tile: int = -1) -> list[tuple[PendingLine, object]]:
         """Request stage: issue drained lines in interleaved order."""
+        obs = self.obs
+        occupancy = row_table.occupancy if obs is not None else 0
         out = []
         drain_rate = self.config.drain_rate
         for j, pline in enumerate(row_table.drain()):
@@ -212,6 +235,10 @@ class IndirectUnit:
                                        arrival=arrival)
                 access = _DirectAccess(req)
             out.append((pline, access))
+        if obs is not None and out:
+            end = t + (len(out) - 1) // drain_rate + 1
+            obs.tile_phase(tile, "drain", t, end, lines=len(out))
+            obs.rt_fill(t, occupancy, len(out))
         return out
 
 

@@ -27,6 +27,11 @@ class TLB:
         self.stats = stats if stats is not None else Stats()
         self._pages: OrderedDict[int, None] = OrderedDict()
 
+    @property
+    def live_entries(self) -> int:
+        """Number of pages currently resident (for stats dumps)."""
+        return len(self._pages)
+
     def preload(self, lo: int, hi: int) -> int:
         """The PTE-transfer API: install all pages of [lo, hi); returns the
         number of pages installed."""

@@ -1,0 +1,261 @@
+"""Periodic timeline samplers over the simulated system.
+
+The simulation is event-driven — there is no global clock tick to hang a
+sampler on — so the :class:`Timeline` piggybacks on the event streams:
+every DRAM command carries its channel's current cycle, and whenever a
+channel's cycle crosses an ``every``-cycle boundary the sampler snapshots
+that channel's live state (cumulative counters deltas for windowed rates,
+instantaneous buffer/bank state) into one compact sample row.  MSHR
+occupancy and Row Table fill are sampled the same way from their own
+events.
+
+The result is Figure-10-as-a-time-series: row-buffer hit rate, bandwidth
+utilization, request-buffer occupancy, and open banks per channel per
+window, alignable against DX100 tile drain windows — the view that shows
+RBH *spiking* while a tile drains and collapsing between drains, which
+end-of-run aggregates average away.
+
+:func:`render_timeline` turns the series into a pure-ASCII report for the
+``python -m repro timeline`` subcommand; :meth:`Timeline.summary`
+produces the compact JSON digest carried in ``RunResult.extra``.
+"""
+
+from __future__ import annotations
+
+#: ASCII intensity ramp for the sparkline rows (space = no data).
+GLYPHS = " .:-=+*#%@"
+
+
+class Timeline:
+    """Windowed time series of system state, sampled every N cycles."""
+
+    def __init__(self, every: int) -> None:
+        if every <= 0:
+            raise ValueError("sample period must be positive")
+        self.every = int(every)
+        #: channel -> list of sample dicts, in time order.
+        self.channels: dict[int, list[dict]] = {}
+        #: MSHR file name -> {bucket: max occupancy seen in that window}.
+        self.mshr: dict[str, dict[int, int]] = {}
+        #: Row Table fill at each drain: (cycle, BCAM entries, lines).
+        self.rt_fills: list[tuple[int, int, int]] = []
+        #: DX100 tile drain windows: (tile, start, end, lines).
+        self.drains: list[tuple[int, int, int, int]] = []
+        self._controllers: dict[int, object] = {}
+        self._buffer_cap = 32
+        self._peak_channel_gbps = 0.0
+        self._cycle_ns = 1.0
+        self._prev: dict[int, dict] = {}
+        self._last_bucket: dict[int, int] = {}
+
+    # ------------------------------------------------------------ attachment
+
+    def watch(self, system) -> None:
+        """Bind the sampler to a built system's live DRAM controllers."""
+        from repro.common.config import CYCLE_NS
+        config = system.dram.config
+        self._cycle_ns = CYCLE_NS
+        self._peak_channel_gbps = config.peak_bw_gbps / max(1, config.channels)
+        self._buffer_cap = config.request_buffer
+        for ctrl in system.dram.controllers:
+            self._controllers[ctrl.channel] = ctrl
+
+    # -------------------------------------------------------------- feeding
+
+    def _snap(self, ctrl, cycle: int) -> dict:
+        counters = ctrl.stats.counters
+        return {
+            "cycle": cycle,
+            "row_hits": counters["row_hits"],
+            "serviced": counters["serviced"],
+            "bytes": counters["bytes"],
+        }
+
+    def on_dram(self, channel: int, kind: str, cycle: int, flat_bank: tuple,
+                row: int) -> None:
+        """Advance the channel's sampling window with one command event."""
+        ctrl = self._controllers.get(channel)
+        if ctrl is None:
+            return
+        bucket = cycle // self.every
+        last = self._last_bucket.get(channel)
+        if last is None:
+            self._last_bucket[channel] = bucket
+            self._prev[channel] = self._snap(ctrl, cycle)
+            self.channels[channel] = []
+            return
+        if bucket <= last:
+            return
+        prev = self._prev[channel]
+        cur = self._snap(ctrl, cycle)
+        d_serviced = cur["serviced"] - prev["serviced"]
+        d_hits = cur["row_hits"] - prev["row_hits"]
+        d_bytes = cur["bytes"] - prev["bytes"]
+        dt = max(1, cur["cycle"] - prev["cycle"])
+        seconds = dt * self._cycle_ns * 1e-9
+        gbps = d_bytes / seconds / 1e9
+        util = gbps / self._peak_channel_gbps if self._peak_channel_gbps else 0.0
+        open_banks = sum(1 for b in ctrl.banks.values()
+                         if b.open_row is not None)
+        self.channels[channel].append({
+            "bucket": bucket,
+            "cycle": cycle,
+            "rbh": (d_hits / d_serviced) if d_serviced else 0.0,
+            "bw_util": util,
+            "occupancy": len(ctrl.buffer),
+            "open_banks": open_banks,
+            "serviced": d_serviced,
+        })
+        self._last_bucket[channel] = bucket
+        self._prev[channel] = cur
+
+    def on_mshr(self, name: str, cycle: int, occupancy: int,
+                capacity: int) -> None:
+        """Track per-window MSHR occupancy high-water marks."""
+        bucket = cycle // self.every
+        series = self.mshr.setdefault(name, {})
+        if occupancy > series.get(bucket, -1):
+            series[bucket] = occupancy
+
+    def on_rt_fill(self, cycle: int, entries: int, lines: int) -> None:
+        """Record Row Table occupancy at a drain point."""
+        self.rt_fills.append((int(cycle), int(entries), int(lines)))
+
+    def on_drain(self, tile: int, start: int, end: int, lines: int) -> None:
+        """Record one DX100 tile drain window."""
+        self.drains.append((int(tile), int(start), int(end), int(lines)))
+
+    # -------------------------------------------------------------- summary
+
+    def sample_count(self) -> int:
+        """Total channel samples recorded."""
+        return sum(len(s) for s in self.channels.values())
+
+    def summary(self) -> dict:
+        """Compact JSON-serializable digest (``RunResult.extra`` payload)."""
+        out: dict = {
+            "timeline_every": self.every,
+            "timeline_samples": self.sample_count(),
+            "timeline_drains": len(self.drains),
+        }
+        weighted = 0.0
+        serviced = 0
+        rbh_max = 0.0
+        occ_max = 0
+        bw_max = 0.0
+        for samples in self.channels.values():
+            for s in samples:
+                weighted += s["rbh"] * s["serviced"]
+                serviced += s["serviced"]
+                rbh_max = max(rbh_max, s["rbh"])
+                occ_max = max(occ_max, s["occupancy"])
+                bw_max = max(bw_max, s["bw_util"])
+        if serviced:
+            out["timeline_rbh_mean"] = round(weighted / serviced, 6)
+            out["timeline_rbh_max"] = round(rbh_max, 6)
+            out["timeline_occupancy_max"] = occ_max
+            out["timeline_bw_util_max"] = round(bw_max, 6)
+        if self.rt_fills:
+            out["timeline_row_table_fill_max"] = max(
+                e for _, e, _ in self.rt_fills)
+        llc = self.mshr.get("llc_mshr")
+        if llc:
+            out["timeline_llc_mshr_max"] = max(llc.values())
+        return out
+
+
+# ------------------------------------------------------------- ASCII report
+
+def _sparkline(values: list[float | None], lo: float, hi: float) -> str:
+    """Map a row of values onto the ASCII intensity ramp (None = gap)."""
+    span = hi - lo
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(GLYPHS[1] if v <= lo else GLYPHS[-1])
+            continue
+        frac = (v - lo) / span
+        idx = 1 + int(frac * (len(GLYPHS) - 2) + 0.5)
+        chars.append(GLYPHS[max(1, min(len(GLYPHS) - 1, idx))])
+    return "".join(chars)
+
+
+def _bucket_rows(samples: list[dict], key: str,
+                 lo_bucket: int, n: int) -> list[float | None]:
+    row: list[float | None] = [None] * n
+    for s in samples:
+        i = s["bucket"] - lo_bucket
+        if 0 <= i < n:
+            row[i] = float(s[key])
+    return row
+
+
+def _downsample(row: list[float | None], width: int) -> list[float | None]:
+    if len(row) <= width:
+        return row
+    out: list[float | None] = []
+    per = len(row) / width
+    for i in range(width):
+        chunk = [v for v in row[int(i * per):int((i + 1) * per) or 1]
+                 if v is not None]
+        out.append(sum(chunk) / len(chunk) if chunk else None)
+    return out
+
+
+def render_timeline(timeline: Timeline, width: int = 72) -> str:
+    """Pure-ASCII timeline report: one block per channel with sparkline
+    rows for windowed RBH, bandwidth utilization, request-buffer
+    occupancy, and open banks, plus a tile-drain marker row (``#`` where
+    any DX100 tile was draining) so drain windows can be read against the
+    RBH spikes they cause."""
+    if timeline.sample_count() == 0:
+        return "(no timeline samples; is --sample-every set and > 0?)"
+    every = timeline.every
+    buckets = [s["bucket"] for samples in timeline.channels.values()
+               for s in samples]
+    lo_b, hi_b = min(buckets), max(buckets)
+    n = hi_b - lo_b + 1
+    drain_row: list[float | None] = [None] * n
+    for _tile, start, end, _lines in timeline.drains:
+        for b in range(max(lo_b, start // every),
+                       min(hi_b, max(start, end - 1) // every) + 1):
+            drain_row[b - lo_b] = 1.0
+    rows = [
+        ("rbh", 0.0, 1.0),
+        ("bw_util", 0.0, 1.0),
+        ("occupancy", 0.0, float(timeline._buffer_cap)),
+        ("open_banks", 0.0, None),
+    ]
+    lines = [
+        f"timeline: {n} windows x {every} cycles "
+        f"(cycles {lo_b * every}..{(hi_b + 1) * every})",
+        f"scale: '{GLYPHS[1]}' = low .. '{GLYPHS[-1]}' = high, "
+        "' ' = no traffic in window",
+    ]
+    for channel in sorted(timeline.channels):
+        samples = timeline.channels[channel]
+        lines.append(f"channel {channel}:")
+        for key, lo, hi in rows:
+            row = _bucket_rows(samples, key, lo_b, n)
+            if hi is None:
+                present = [v for v in row if v is not None]
+                hi = max(present) if present else 1.0
+            row = _downsample(row, width)
+            lines.append(f"  {key:>10s} |{_sparkline(row, lo, hi)}|")
+    if timeline.drains:
+        marker = _downsample(drain_row, width)
+        lines.append(f"  {'tile drain':>10s} "
+                     f"|{''.join('#' if v else ' ' for v in marker)}|")
+        lines.append(f"  ({len(timeline.drains)} drain window(s); RBH should "
+                     "spike inside '#' windows)")
+    if timeline.rt_fills:
+        peak = max(e for _, e, _ in timeline.rt_fills)
+        lines.append(f"row table fill at drain: peak {peak} BCAM entries "
+                     f"over {len(timeline.rt_fills)} drain(s)")
+    llc = timeline.mshr.get("llc_mshr")
+    if llc:
+        lines.append(f"llc mshr occupancy: peak {max(llc.values())}")
+    return "\n".join(lines)

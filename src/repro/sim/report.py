@@ -30,6 +30,15 @@ def to_csv(results: list[RunResult], path: str | Path | None = None) -> str:
     return text
 
 
+# ``comparison_table`` cell geometry: a populated metrics cell is
+# "{cycles:12d} {bw:5.2f} {rbh:5.2f}" = CELL_WIDTH characters, and every
+# non-baseline column group carries a " {speedup:7.2f}x" = SPEEDUP_WIDTH
+# suffix.  Blank cells pad to exactly the same widths so the "|" column
+# separators stay aligned down every row.
+CELL_WIDTH = 12 + 1 + 5 + 1 + 5
+SPEEDUP_WIDTH = 1 + 7 + 1
+
+
 def comparison_table(results: dict[str, dict[str, RunResult]]) -> str:
     """Figure 9/10-style table: one row per workload, one column group per
     configuration, with speedups against the baseline."""
@@ -50,16 +59,20 @@ def comparison_table(results: dict[str, dict[str, RunResult]]) -> str:
         row = f"{name:10s}"
         base = runs.get("baseline")
         for c in configs:
+            group = CELL_WIDTH + (SPEEDUP_WIDTH if c != "baseline" else 0)
             r = runs.get(c)
             if r is None:
-                row += " | " + " " * 25
+                row += " | " + " " * group
                 continue
             row += (f" | {r.cycles:12d} {r.bandwidth_utilization:5.2f} "
                     f"{r.row_buffer_hit_rate:5.2f}")
-            if c != "baseline" and base is not None:
-                s = base.cycles / r.cycles
-                speedups[c].append(s)
-                row += f" {s:7.2f}x"
+            if c != "baseline":
+                if base is not None:
+                    s = base.cycles / r.cycles
+                    speedups[c].append(s)
+                    row += f" {s:7.2f}x"
+                else:
+                    row += " " * SPEEDUP_WIDTH
         lines.append(row)
     for c in configs:
         if c != "baseline" and speedups[c]:
@@ -70,16 +83,27 @@ def comparison_table(results: dict[str, dict[str, RunResult]]) -> str:
 
 def bar_chart(values: dict[str, float], width: int = 40,
               unit: str = "x") -> str:
-    """ASCII horizontal bar chart (the artifact plots PNGs; we plot text)."""
+    """ASCII horizontal bar chart (the artifact plots PNGs; we plot text).
+
+    Zero values render a zero-width bar (an honest nothing, not a
+    one-glyph sliver); negative values are rejected — a length cannot
+    encode a sign.
+    """
     if not values:
         return "(no data)"
+    negative = [k for k, v in values.items() if v < 0]
+    if negative:
+        raise ValueError(f"bar chart values must be >= 0, got negative: "
+                         f"{', '.join(sorted(negative))}")
     peak = max(values.values())
     if peak <= 0:
-        raise ValueError("bar chart needs positive values")
+        raise ValueError("bar chart needs at least one positive value")
     lines = []
     for label, value in values.items():
-        bar = "#" * max(1, round(width * value / peak))
-        lines.append(f"{label:>10s} | {bar} {value:.2f}{unit}")
+        # A positive value always shows at least one glyph; exactly zero
+        # shows none.
+        glyphs = max(1, round(width * value / peak)) if value > 0 else 0
+        lines.append(f"{label:>10s} | {'#' * glyphs} {value:.2f}{unit}")
     return "\n".join(lines)
 
 

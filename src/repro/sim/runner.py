@@ -31,16 +31,19 @@ ISSUE_INSTRS = 3  # three 64-bit memory-mapped stores per instruction
 
 def run_baseline(workload: Workload, config: SystemConfig | None = None,
                  warm: bool = True,
-                 timers: StageTimers | None = None) -> RunResult:
+                 timers: StageTimers | None = None,
+                 obs=None) -> RunResult:
     """Run a workload's legacy multicore code (optionally with DMP).
 
     ``timers`` (see :mod:`repro.sim.profile`) attributes wall-clock to the
     run's coarse stages — generate, warm, simulate, collect — for the
-    profiling harness; the default null timer adds no overhead.
+    profiling harness; the default null timer adds no overhead.  ``obs``
+    is an optional :class:`repro.obs.events.EventBus`; its summary lands
+    in ``RunResult.extra`` (never in the golden metric fields).
     """
     timers = timers or NULL_TIMERS
     config = config or SystemConfig.baseline()
-    system = SimSystem(config)
+    system = SimSystem(config, obs=obs)
     with timers.stage("generate"):
         workload.generate(system.hostmem)
     if warm and hasattr(workload, "warm_lines"):
@@ -59,6 +62,11 @@ def run_baseline(workload: Workload, config: SystemConfig | None = None,
     extra = {}
     if system.dmp is not None:
         extra["dmp_prefetches"] = system.dmp.stats.get("dmp_prefetches")
+    if obs is not None:
+        # Drain in-flight DRAM traffic first (idempotent; collect() drains
+        # too) so the digest reflects the run's final event counts.
+        system.dram.drain()
+        extra.update(obs.summary())
     with timers.stage("collect"):
         return collect(system, workload.name, config.name, finish,
                        instructions, extra)
@@ -97,19 +105,22 @@ def software_pipeline(schedule: list) -> list:
 def run_dx100(workload: Workload, config: SystemConfig | None = None,
               warm: bool = True, validate: bool = True,
               pipelined: bool = False,
-              timers: StageTimers | None = None) -> RunResult:
+              timers: StageTimers | None = None,
+              obs=None) -> RunResult:
     """Run the offloaded code: DX100 schedule + residual core work,
     synchronized through scratchpad ready bits, then validate.
 
     ``pipelined=True`` applies :func:`software_pipeline` (double
     buffering); the default keeps the workload's own ordering.
     ``timers`` attributes wall-clock to the coarse stages (generate, warm,
-    preload, schedule, validate, collect) for the profiling harness."""
+    preload, schedule, validate, collect) for the profiling harness.
+    ``obs`` is an optional :class:`repro.obs.events.EventBus`; its summary
+    lands in ``RunResult.extra`` (never in the golden metric fields)."""
     timers = timers or NULL_TIMERS
     config = config or SystemConfig.dx100_system()
     if config.dx100 is None:
         raise ValueError("run_dx100 needs a DX100 configuration")
-    system = SimSystem(config)
+    system = SimSystem(config, obs=obs)
     dx = system.dx100
     with timers.stage("generate"):
         workload.generate(system.hostmem)
@@ -160,6 +171,10 @@ def run_dx100(workload: Workload, config: SystemConfig | None = None,
         "dx100_instructions": dx.stats.get("instructions"),
         "coalescing": _mean_coalescing(dx),
     }
+    if obs is not None:
+        # Drain first (idempotent) so the digest sees the final counts.
+        system.dram.drain()
+        extra.update(obs.summary())
     with timers.stage("collect"):
         return collect(system, workload.name, config.name, t, instructions,
                        extra)

@@ -13,16 +13,24 @@ from repro.sim.system import SimSystem
 
 
 def dump_stats(system: SimSystem) -> dict[str, float]:
-    """Flatten all component stats into ``component.counter`` keys."""
+    """Flatten all component stats into ``component.counter`` keys.
+
+    Counters keep their bare names; min/max trackers get ``.min`` /
+    ``.max`` suffixes (a min and a max may share a name with each other —
+    or with a counter — without silently overwriting one another) and
+    weighted averages get ``.mean``, all through the ``Stats`` public
+    surface.
+    """
     out: dict[str, float] = {}
 
     def put(prefix: str, stats) -> None:
         for name, value in stats.counters.items():
             out[f"{prefix}.{name}"] = float(value)
-        for store in (stats.mins, stats.maxs):
-            for name, value in store.items():
-                out[f"{prefix}.{name}"] = float(value)
-        for name in stats._wweight:
+        for name, value in stats.mins.items():
+            out[f"{prefix}.{name}.min"] = float(value)
+        for name, value in stats.maxs.items():
+            out[f"{prefix}.{name}.max"] = float(value)
+        for name in stats.mean_names():
             out[f"{prefix}.{name}.mean"] = stats.mean(name)
 
     for ctrl in system.dram.controllers:
@@ -37,7 +45,7 @@ def dump_stats(system: SimSystem) -> dict[str, float]:
     if system.dx100 is not None:
         put("dx100", system.dx100.stats)
         out["dx100.tlb_entries_live"] = float(
-            len(system.dx100.tlb._pages))
+            system.dx100.tlb.live_entries)
         out["dx100.spd_tracked_lines"] = float(
             system.dx100.coherency.tracked_lines)
     if system.dmp is not None:

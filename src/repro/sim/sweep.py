@@ -116,6 +116,11 @@ class SweepTask:
     quick: bool               # QUICK_BENCHMARKS vs MAIN_BENCHMARKS sizes
     config: SystemConfig
     warm: bool = False
+    #: Observability sampling period in cycles (0 = off).  When nonzero the
+    #: run attaches a trace-less :class:`repro.obs.events.EventBus` and the
+    #: timeline summary lands in ``RunResult.extra`` — so it participates
+    #: in the cache key but never in the golden fields.
+    sample_every: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -136,6 +141,7 @@ class SweepTask:
             "workload": workload_fingerprint(self.factory()()),
             "mode": self.mode,
             "warm": self.warm,
+            "sample_every": self.sample_every,
             "config": asdict(self.config),
         }
         blob = json.dumps(payload, sort_keys=True, default=str)
@@ -215,10 +221,14 @@ def execute_task(task: SweepTask) -> tuple[RunResult, float]:
     from repro.sim.runner import run_baseline, run_dx100
     t0 = time.perf_counter()
     workload = task.factory()()
+    obs = None
+    if task.sample_every:
+        from repro.obs.events import EventBus
+        obs = EventBus(trace=False, sample_every=task.sample_every)
     if task.mode == "dx100":
-        result = run_dx100(workload, task.config, warm=task.warm)
+        result = run_dx100(workload, task.config, warm=task.warm, obs=obs)
     else:
-        result = run_baseline(workload, task.config, warm=task.warm)
+        result = run_baseline(workload, task.config, warm=task.warm, obs=obs)
     return result, time.perf_counter() - t0
 
 
@@ -419,7 +429,8 @@ CONFIG_BUILDERS = {
 
 def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
                      modes: tuple[str, ...] = MODES, cores: int = 4,
-                     audit: bool = False) -> list[SweepTask]:
+                     audit: bool = False,
+                     sample_every: int = 0) -> list[SweepTask]:
     """The Figure 9-12 grid: every benchmark under every configuration."""
     from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
     registry = QUICK_BENCHMARKS if quick else MAIN_BENCHMARKS
@@ -435,7 +446,8 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
                 config = replace(config,
                                  dram=replace(config.dram, audit=True))
             tasks.append(SweepTask(benchmark=name, mode=mode, quick=quick,
-                                   config=config))
+                                   config=config,
+                                   sample_every=sample_every))
     return tasks
 
 
@@ -444,10 +456,12 @@ def run_main_sweep(quick: bool = False,
                    modes: tuple[str, ...] = MODES,
                    jobs: int | None = None, cache: bool = True,
                    cache_dir: str | Path | None = None,
-                   results_dir: str | Path | None = None) -> SweepOutcome:
+                   results_dir: str | Path | None = None,
+                   sample_every: int = 0) -> SweepOutcome:
     """Run the main-evaluation grid and emit the structured JSON records
     (``results/sweep.json`` + ``BENCH_mainsweep.json``)."""
-    tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes)
+    tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes,
+                             sample_every=sample_every)
     outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir)
     outcome.extras["quick"] = quick
     if results_dir is not None:

@@ -16,7 +16,8 @@ class SimSystem:
 
     def __init__(self, config: SystemConfig,
                  mem_bytes: int = 1 << 26,
-                 audit: bool | None = None) -> None:
+                 audit: bool | None = None,
+                 obs=None) -> None:
         self.config = config
         self.dram = DRAMSystem(config.dram, audit=audit)
         self.hierarchy = MemoryHierarchy(config, self.dram)
@@ -30,6 +31,11 @@ class SimSystem:
             self.hierarchy.observers.append(
                 lambda core, addr, pc, tag, t:
                 self.dmp.observe(core, addr, pc, tag, t))
+        # Observability: an :class:`repro.obs.events.EventBus` (or None).
+        # Attached last so the bus sees the fully-built component graph.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(self)
 
     def warm(self, lines) -> None:
         """Pre-load lines into every cache level (the all-hit scenario)."""

@@ -1,0 +1,48 @@
+"""The observability layer must never perturb the simulated numbers.
+
+The golden harness (``tests/sim/test_golden_metrics.py``) already pins an
+un-instrumented quick-suite run bitwise against
+``tests/golden/quick_suite.json``; these tests close the other half of the
+contract: a run with the full event bus *attached* (tracing + samplers)
+produces GOLDEN_FIELDS identical to a plain run, so observability can be
+switched on for debugging without invalidating any number it is used to
+explain.
+"""
+
+from repro.common import SystemConfig
+from repro.obs import EventBus
+from repro.sim import run_baseline, run_dx100
+from repro.sim.sweep import GOLDEN_FIELDS
+from repro.workloads import GatherFull
+
+
+def _golden_view(result):
+    return {f: getattr(result, f) for f in GOLDEN_FIELDS}
+
+
+def test_baseline_metrics_identical_with_bus_attached():
+    plain = run_baseline(GatherFull(2048), warm=False)
+    bus = EventBus(trace=True, sample_every=200)
+    observed = run_baseline(GatherFull(2048), warm=False, obs=bus)
+    assert _golden_view(observed) == _golden_view(plain)
+    assert bus.event_count() > 0          # the bus really was live
+
+
+def test_dx100_metrics_identical_with_bus_attached():
+    config = SystemConfig.dx100_system(tile_elems=1024)
+    plain = run_dx100(GatherFull(2048), config, warm=False)
+    bus = EventBus(trace=True, sample_every=200)
+    observed = run_dx100(GatherFull(2048), config, warm=False, obs=bus)
+    assert _golden_view(observed) == _golden_view(plain)
+    assert any(p[1] == "drain" for p in bus.tile_phases)
+
+
+def test_summary_lands_in_extra_not_in_golden_fields():
+    bus = EventBus(trace=True, sample_every=200)
+    result = run_baseline(GatherFull(2048), warm=False, obs=bus)
+    summary = bus.summary()
+    assert summary                        # non-empty digest
+    for key in summary:
+        assert key.startswith(("obs_", "timeline_"))
+        assert key not in GOLDEN_FIELDS
+        assert result.extra[key] == summary[key]

@@ -1,0 +1,78 @@
+"""Timeline samplers: sampling, summary digest, and the ASCII report."""
+
+import pytest
+
+from repro.common import SystemConfig
+from repro.obs import EventBus, Timeline
+from repro.obs.timeline import render_timeline
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import GatherFull
+
+
+def _sampled_bus(mode="dx100", every=200):
+    bus = EventBus(trace=False, sample_every=every)
+    if mode == "dx100":
+        run_dx100(GatherFull(2048), SystemConfig.dx100_system(tile_elems=1024),
+                  warm=False, obs=bus)
+    else:
+        run_baseline(GatherFull(2048), warm=False, obs=bus)
+    return bus
+
+
+def test_sampler_produces_windowed_series():
+    bus = _sampled_bus()
+    timeline = bus.timeline
+    assert timeline.sample_count() > 0
+    for samples in timeline.channels.values():
+        buckets = [s["bucket"] for s in samples]
+        assert buckets == sorted(buckets)
+        for s in samples:
+            assert 0.0 <= s["rbh"] <= 1.0
+            assert s["bw_util"] >= 0.0
+            assert s["occupancy"] >= 0
+    assert timeline.drains            # DX100 runs record drain windows
+    assert timeline.rt_fills
+
+
+def test_summary_digest_keys_and_ranges():
+    bus = _sampled_bus()
+    summary = bus.summary()
+    assert summary["timeline_every"] == 200
+    assert summary["timeline_samples"] == bus.timeline.sample_count()
+    assert summary["timeline_drains"] == len(bus.timeline.drains)
+    assert 0.0 <= summary["timeline_rbh_mean"] <= 1.0
+    assert summary["timeline_rbh_mean"] <= summary["timeline_rbh_max"] <= 1.0
+    assert summary["timeline_row_table_fill_max"] > 0
+    # trace=False: no event streams were recorded, only samples.
+    assert "obs_trace_events" not in summary
+    assert bus.event_count() == 0
+
+
+def test_render_timeline_ascii_report():
+    bus = _sampled_bus()
+    report = render_timeline(bus.timeline, width=40)
+    lines = report.splitlines()
+    assert lines[0].startswith("timeline:")
+    assert any(ln.strip().startswith("rbh") for ln in lines)
+    assert any(ln.strip().startswith("bw_util") for ln in lines)
+    assert any(ln.strip().startswith("tile drain") for ln in lines)
+    # Pure ASCII, bounded width.
+    assert all(ord(ch) < 128 for ch in report)
+    sparks = [ln for ln in lines if "|" in ln]
+    assert all(len(ln) < 80 for ln in sparks)
+
+
+def test_render_timeline_without_samples():
+    assert "no timeline samples" in render_timeline(Timeline(100))
+
+
+def test_timeline_rejects_bad_period():
+    with pytest.raises(ValueError):
+        Timeline(0)
+
+
+def test_baseline_sampling_works_without_dx100():
+    bus = _sampled_bus(mode="baseline")
+    assert bus.timeline.sample_count() > 0
+    assert bus.timeline.drains == []
+    assert "timeline_rbh_mean" in bus.summary()

@@ -1,0 +1,94 @@
+"""Chrome trace-event export: well-formedness, track layout, validator."""
+
+import json
+
+from repro.common import SystemConfig
+from repro.obs import EventBus
+from repro.obs.trace import (
+    PID_CACHE, PID_CORES, PID_DRAM_BASE, PID_TILES, PID_UNITS,
+    chrome_trace, write_chrome_trace,
+)
+from repro.obs.validate import validate_file, validate_trace
+from repro.sim import run_baseline, run_dx100
+from repro.workloads import GatherFull
+
+
+def _dx100_trace_bus():
+    bus = EventBus(trace=True, sample_every=200)
+    run_dx100(GatherFull(2048), SystemConfig.dx100_system(tile_elems=1024),
+              warm=False, obs=bus)
+    return bus
+
+
+def _process_names(payload):
+    return {e["pid"]: e["args"]["name"] for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"}
+
+
+def test_dx100_trace_is_valid_and_has_expected_tracks():
+    payload = chrome_trace(_dx100_trace_bus())
+    assert validate_trace(payload) == []
+    names = _process_names(payload)
+    channels = SystemConfig.dx100_system().dram.channels
+    for channel in range(channels):
+        assert names[PID_DRAM_BASE + channel] == f"DRAM ch{channel}"
+    assert names[PID_TILES] == "DX100 tiles"
+    assert names[PID_UNITS] == "DX100 units"
+    phases = {e["name"] for e in payload["traceEvents"]
+              if e["ph"] == "X" and e["pid"] == PID_TILES}
+    assert {"fill", "drain", "response"} <= phases
+
+
+def test_baseline_trace_has_core_and_cache_tracks():
+    bus = EventBus(trace=True, sample_every=200)
+    run_baseline(GatherFull(2048), warm=False, obs=bus)
+    payload = chrome_trace(bus)
+    assert validate_trace(payload) == []
+    names = _process_names(payload)
+    assert names.get(PID_CORES) == "cores"
+    assert names.get(PID_CACHE) == "cache"
+
+
+def test_timestamps_monotonic_per_track():
+    payload = chrome_trace(_dx100_trace_bus())
+    last = {}
+    for event in payload["traceEvents"]:
+        if event["ph"] == "M":
+            continue
+        track = (event["pid"], event["tid"])
+        assert event["ts"] >= last.get(track, 0)
+        last[track] = event["ts"]
+
+
+def test_row_open_spans_carry_access_counts():
+    payload = chrome_trace(_dx100_trace_bus())
+    spans = [e for e in payload["traceEvents"]
+             if e["ph"] == "X" and e["pid"] >= PID_DRAM_BASE]
+    assert spans
+    assert all(e["name"].startswith("row ") for e in spans)
+    served = sum(e["args"]["reads"] + e["args"]["writes"] for e in spans)
+    assert served > 0
+
+
+def test_write_and_validate_file(tmp_path):
+    path = write_chrome_trace(_dx100_trace_bus(), tmp_path / "t.json")
+    assert validate_file(path) == []
+    payload = json.loads(path.read_text())
+    assert payload["otherData"]["sample_every"] == 200
+
+
+def test_validator_flags_malformed_traces(tmp_path):
+    assert validate_trace([]) == ["top level is not a JSON object"]
+    assert validate_trace({}) == ["missing traceEvents key"]
+    assert validate_trace({"traceEvents": []}) == ["traceEvents is empty"]
+    bad = {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "a", "ts": 10, "dur": 1},
+        {"ph": "X", "pid": 1, "tid": 1, "name": "b", "ts": 5, "dur": 1},
+    ]}
+    problems = validate_trace(bad)
+    assert len(problems) == 1 and "backwards" in problems[0]
+    missing = {"traceEvents": [{"ph": "X", "pid": 1}]}
+    assert "missing keys" in validate_trace(missing)[0]
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    assert any("unreadable" in p for p in validate_file(path))

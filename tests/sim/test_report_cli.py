@@ -74,3 +74,28 @@ def test_cli_run_quick(capsys, tmp_path):
 def test_cli_run_rejects_unknown(capsys):
     assert main(["run", "NOPE", "--quick"]) == 2
     assert main(["run", "--quick"]) == 2
+
+
+def test_cli_run_with_trace(capsys, tmp_path):
+    from repro.obs.validate import validate_file
+    trace_path = tmp_path / "trace.json"
+    code = main(["run", "XRAGE", "--quick", "--configs", "baseline",
+                 "--trace", str(trace_path), "--sample-every", "500"])
+    assert code == 0
+    assert trace_path.exists()
+    assert validate_file(trace_path) == []
+
+
+def test_cli_timeline(capsys):
+    code = main(["timeline", "XRAGE", "--quick", "--mode", "dx100",
+                 "--sample-every", "500", "--width", "50"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "timeline:" in out
+    assert "rbh" in out and "bw_util" in out
+    assert "timeline_samples" in out
+
+
+def test_cli_timeline_rejects_bad_args(capsys):
+    assert main(["timeline", "NOPE", "--quick"]) == 2
+    assert main(["timeline", "XRAGE", "--quick", "--sample-every", "0"]) == 2

@@ -1,8 +1,9 @@
-"""Bar-chart renderer."""
+"""Bar-chart renderer and comparison-table alignment."""
 
 import pytest
 
-from repro.sim.report import bar_chart
+from repro.sim.metrics import RunResult
+from repro.sim.report import bar_chart, comparison_table
 
 
 def test_bar_chart_scales_to_peak():
@@ -13,7 +14,64 @@ def test_bar_chart_scales_to_peak():
     assert "2.00x" in lines[1]
 
 
+def test_bar_chart_zero_renders_zero_width():
+    chart = bar_chart({"a": 0.0, "b": 2.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 0       # zero is an honest nothing
+    assert "0.00x" in lines[0]
+    assert lines[1].count("#") == 10
+
+
+def test_bar_chart_tiny_positive_still_visible():
+    chart = bar_chart({"a": 0.001, "b": 2.0}, width=10)
+    assert chart.splitlines()[0].count("#") == 1
+
+
 def test_bar_chart_empty_and_invalid():
     assert bar_chart({}) == "(no data)"
     with pytest.raises(ValueError):
-        bar_chart({"a": 0.0})
+        bar_chart({"a": 0.0})             # no positive peak to scale by
+    with pytest.raises(ValueError):
+        bar_chart({"a": -1.0, "b": 2.0})  # sign cannot map to a length
+
+
+def _result(workload, config, cycles):
+    return RunResult(
+        workload=workload, config=config, cycles=cycles,
+        instructions=1000.0, bandwidth_utilization=0.5,
+        row_buffer_hit_rate=0.5, request_buffer_occupancy=1.0,
+        llc_mpki=1.0, dram_bytes=64, dram_requests=1,
+    )
+
+
+def test_comparison_table_aligns_missing_cells():
+    """A row with a missing run must pad to exactly the populated width so
+    every '|' separator lines up down the whole table."""
+    results = {
+        "full": {
+            "baseline": _result("full", "baseline", 2000),
+            "dmp": _result("full", "dmp", 1500),
+            "dx100": _result("full", "dx100", 1000),
+        },
+        "nobase": {
+            "dx100": _result("nobase", "dx100", 1000),
+        },
+        "onlybase": {
+            "baseline": _result("onlybase", "baseline", 2000),
+        },
+    }
+    table = comparison_table(results).splitlines()
+    rows = [ln for ln in table if ln and not ln.startswith(("-", "geomean"))]
+    widths = {len(ln) for ln in rows}
+    assert len(widths) == 1, f"ragged rows: {sorted(widths)}"
+    pipes = {tuple(i for i, ch in enumerate(ln) if ch == "|") for ln in rows}
+    assert len(pipes) == 1, "column separators shifted between rows"
+
+
+def test_comparison_table_speedup_only_with_baseline():
+    results = {
+        "nobase": {"dx100": _result("nobase", "dx100", 1000)},
+    }
+    table = comparison_table(results)
+    assert "x" not in table.splitlines()[-1]   # no phantom speedup
+    assert "geomean" not in table

@@ -33,6 +33,19 @@ def test_dump_contains_all_components():
     assert stats["dram.total_bytes"] > 0
 
 
+def test_min_max_keys_are_suffixed():
+    """Min/max trackers must land under ``.min`` / ``.max`` so a tracker
+    sharing a counter's name can never silently overwrite it."""
+    system = _run()
+    stats = dump_stats(system)
+    assert "dram.ch0.first_arrival.min" in stats
+    assert "dram.ch0.last_finish.max" in stats
+    assert "dram.ch0.first_arrival" not in stats
+    assert "dram.ch0.last_finish" not in stats
+    # Weighted averages keep their .mean suffix through the public API.
+    assert "dram.ch0.occupancy.mean" in stats
+
+
 def test_dump_includes_dx100_when_present():
     system = _run(dx=True)
     stats = dump_stats(system)
