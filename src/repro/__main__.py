@@ -108,6 +108,12 @@ def _parser() -> argparse.ArgumentParser:
                        help="attach the timeline samplers to every run "
                             "(period N cycles; summaries land in each "
                             "result's extra fields; 0 = off)")
+    sweep.add_argument("--engine", choices=["batched", "scalar"],
+                       default=None,
+                       help="force the DRAM engine for every run (default: "
+                            "the config's engine, i.e. batched; --engine "
+                            "scalar runs the oracle — combine with "
+                            "--check-golden for a full differential check)")
 
     timeline = sub.add_parser(
         "timeline",
@@ -272,6 +278,7 @@ def cmd_sweep(args) -> int:
         quick=quick, benchmarks=benchmarks, modes=modes, jobs=args.jobs,
         cache=not args.no_cache, cache_dir=args.cache_dir,
         sample_every=0 if golden_mode else args.sample_every,
+        engine=args.engine,
     )
     write_sweep_records(outcome, Path("results"), sweep_json=args.json)
 

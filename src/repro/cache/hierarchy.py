@@ -227,7 +227,8 @@ class MemoryHierarchy:
                 self._prefetch_fill(core, pf_line, t, from_level=2)
         return result
 
-    def _access_llc(self, line: int, is_write: bool, t: int) -> AccessResult:
+    def _access_llc(self, line: int, is_write: bool, t: int,
+                    decoded: tuple | None = None) -> AccessResult:
         mshr = self.llc_mshr
         pending = mshr.lookup(line)
         if pending is not None:
@@ -256,7 +257,8 @@ class MemoryHierarchy:
         t = self._stall_for_mshr(mshr, t)
         entry = mshr.allocate(line, t)
         req = self.dram.access(line, is_write=False,
-                               arrival=t + self._llc_latency)
+                               arrival=t + self._llc_latency,
+                               decoded=decoded)
         entry.request = req
         self._fill(llc, line, is_write, to_dram=True)
         return AccessResult(HitLevel.DRAM, issue=t, request=req,
@@ -308,11 +310,19 @@ class MemoryHierarchy:
 
     # --------------------------------------------------------------- DX100 side
 
-    def llc_access(self, addr: int, is_write: bool, t: int) -> AccessResult:
-        """Direct LLC access (DX100's Cache Interface for streaming)."""
+    def llc_access(self, addr: int, is_write: bool, t: int,
+                   decoded: tuple | None = None) -> AccessResult:
+        """Direct LLC access (DX100's Cache Interface for streaming).
+
+        ``decoded`` is an optional pre-decoded ``(channel, rank, bankgroup,
+        bank, row)`` for the line, threaded down to the DRAM enqueue when
+        the access misses — DX100 decodes whole tiles through
+        :meth:`~repro.dram.address.AddressMapper.map_arrays` and reuses the
+        result here instead of re-mapping per line.
+        """
         line = self.llc.line_addr(addr)
         self.stats.add("llc_accesses")
-        return self._access_llc(line, is_write, t)
+        return self._access_llc(line, is_write, t, decoded)
 
     def snoop(self, addr: int) -> bool:
         """Directory snoop: is the line cached anywhere? (DX100 H bit)."""

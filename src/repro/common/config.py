@@ -85,6 +85,10 @@ class DDR4Timing:
     tRRD_L: int = ns_to_cycles(5.0)   # 16
     tFAW: int = ns_to_cycles(25.0)    # 80
     tBL: int = 8                      # BL8 burst = 4 tCK = 8 CPU cycles
+    # Refresh: one all-bank REF per rank every tREFI, blocking the rank for
+    # tRFC.  JEDEC DDR4-3200 (8 Gb devices): tREFI = 7.8 us, tRFC = 350 ns.
+    tREFI: int = ns_to_cycles(7800.0)  # 24960
+    tRFC: int = ns_to_cycles(350.0)    # 1120
 
     @property
     def tRC(self) -> int:
@@ -106,6 +110,13 @@ class DRAMConfig:
     scheduler: str = "frfcfs"     # or "fcfs"
     page_policy: str = "open"     # or "closed" (auto-precharge)
     audit: bool = False           # attach a JEDEC CommandAuditor per channel
+    refresh: bool = True          # per-rank all-bank REF every tREFI
+    #: Inner simulation engine: ``"batched"`` (structure-of-arrays request
+    #: buffer, dense bank-state arrays, whole-batch decode — the production
+    #: engine) or ``"scalar"`` (the per-request object-dispatch oracle the
+    #: differential tests compare against).  Both produce bitwise-identical
+    #: command streams and metrics.
+    engine: str = "batched"
     timing: DDR4Timing = field(default_factory=DDR4Timing)
 
     @property
@@ -150,6 +161,10 @@ def ddr5_6400() -> "DRAMConfig":
         tRRD_L=ns_to_cycles(5.0),
         tFAW=ns_to_cycles(13.333),
         tBL=8,                     # BL16 on a 32-bit subchannel
+        # DDR5 halves the refresh interval and shortens the recovery:
+        # tREFI1 = 3.9 us, tRFC1 = 295 ns (16 Gb devices).
+        tREFI=ns_to_cycles(3900.0),
+        tRFC=ns_to_cycles(295.0),
     )
     return DRAMConfig(channels=4, bankgroups=8, banks_per_group=4,
                       timing=timing)

@@ -131,6 +131,9 @@ class DRAMRequest:
     is_write: bool
     arrival: int
     meta: object = None
+    # Owning channel, stamped at system enqueue (-1 = not yet routed);
+    # lets completion find its controller without re-decoding the address.
+    channel: int = -1
     # Results, filled by the controller.
     start: int = -1
     finish: int = -1

@@ -113,10 +113,13 @@ class _BankAudit:
 
 @dataclass
 class _RankAudit:
-    """Per-rank activate pacing state (tRRD, tFAW)."""
+    """Per-rank activate pacing (tRRD, tFAW) and refresh state."""
 
     last_act: Command | None = None
     act_window: deque = field(default_factory=lambda: deque(maxlen=4))
+    last_ref: Command | None = None
+    ref_end: int | None = None      # cycle the last REF's tRFC recovery ends
+    window_start: int | None = None  # first cycle seen (pre-first-REF base)
 
 
 @dataclass
@@ -146,11 +149,18 @@ class CommandAuditor:
     """
 
     def __init__(self, timing: DDR4Timing | None = None, *,
-                 strict: bool = False, max_recorded: int = 256) -> None:
+                 strict: bool = False, max_recorded: int = 256,
+                 refresh: bool = True) -> None:
         self.timing = timing or DDR4Timing()
         self._timing_explicit = timing is not None
         self.strict = strict
         self.max_recorded = max_recorded
+        #: When True, enforce the refresh rules: REF needs all banks of its
+        #: rank precharged (tRP after the closing PREs), ACTs must clear the
+        #: tRFC recovery, and no rank may go 9 x tREFI without a REF (the
+        #: JEDEC maximum-postponement window).  Disable when auditing a
+        #: stream from a model with refresh off.
+        self.refresh = refresh
         self.violations: list[Violation] = []
         self.violation_count = 0
         self.commands_seen = 0
@@ -180,12 +190,16 @@ class CommandAuditor:
         """Observer-hook entry point: audit one command."""
         cmd = Command(kind, cycle, tuple(bank), row)
         self.commands_seen += 1
+        if self.refresh:
+            self._check_refresh_window(cmd)
         if kind == "ACT":
             self._check_act(cmd)
         elif kind == "PRE":
             self._check_pre(cmd)
         elif kind in _COLUMN_KINDS:
             self._check_col(cmd)
+        elif kind == "REF":
+            self._check_ref(cmd)
         else:
             self._fail("unknown-command", cmd, None, 0, 0)
         self._channel(cmd.channel).history.append(cmd)
@@ -229,11 +243,55 @@ class CommandAuditor:
         if len(rank.act_window) == 4:
             self._require("tFAW", cmd, rank.act_window[0], T.tFAW,
                           cmd.bank)
+        if rank.last_ref is not None:
+            self._require("tRFC", cmd, rank.last_ref.cycle, T.tRFC,
+                          prior=rank.last_ref)
         bank.open_row = cmd.row
         bank.last_act = cmd.cycle
         bank.cols = []
         rank.last_act = cmd
         rank.act_window.append(cmd.cycle)
+
+    def _check_refresh_window(self, cmd: Command) -> None:
+        """No rank may run longer than 9 x tREFI without a REF.
+
+        DDR4 permits postponing up to eight REF commands, so the maximum
+        legal REF-to-REF (or stream-start-to-first-REF) gap is nine refresh
+        intervals.  The base is the rank's last REF, or the first command
+        the auditor saw on the rank before any REF.
+        """
+        rank = self._rank(cmd.rank)
+        if rank.window_start is None:
+            rank.window_start = cmd.cycle
+            return
+        base_cmd = rank.last_ref
+        base = base_cmd.cycle if base_cmd is not None else rank.window_start
+        limit = 9 * self.timing.tREFI
+        if cmd.cycle - base > limit:
+            self._fail("tREFI-window", cmd, base_cmd, limit,
+                       cmd.cycle - base)
+            # Re-arm from here so one missing REF is one violation, not one
+            # per subsequent command.
+            rank.window_start = cmd.cycle
+            rank.last_ref = None
+
+    def _check_ref(self, cmd: Command) -> None:
+        """All-bank REF: rank fully precharged (tRP honoured) and clear of
+        the previous REF's tRFC recovery."""
+        T = self.timing
+        rank = self._rank(cmd.rank)
+        if rank.ref_end is not None:
+            self._require("tRFC", cmd, rank.last_ref.cycle, T.tRFC,
+                          prior=rank.last_ref)
+        for key, bank in self._banks.items():
+            if (key[0], key[1]) != cmd.rank:
+                continue
+            if bank.open_row is not None:
+                self._fail("ref-on-open-bank", cmd, None, 0, 0)
+            if bank.last_pre is not None:
+                self._require("tRP", cmd, bank.last_pre, T.tRP, key)
+        rank.last_ref = cmd
+        rank.ref_end = cmd.cycle + T.tRFC
 
     def _check_pre(self, cmd: Command) -> None:
         T = self.timing

@@ -62,11 +62,16 @@ class BankState:
 
 @dataclass(slots=True)
 class RankState:
-    """Shared activate-rate limits for all banks of one rank."""
+    """Shared activate-rate limits and refresh schedule for one rank."""
 
     last_act_times: list[int] = field(default_factory=list)
     last_act: int = -(1 << 30)
     last_act_bg: int = -1
+    # Refresh: the next scheduled REF point (multiples of tREFI) and the
+    # cycle the in-progress/last REF's tRFC recovery ends.  ``next_ref``
+    # stays at the disabled sentinel unless the controller arms it.
+    next_ref: int = 1 << 62
+    ref_done: int = 0
 
     def earliest_act(self, bankgroup: int, timing: DDR4Timing) -> int:
         """Earliest cycle an ACT may issue in this rank, per tRRD and tFAW."""

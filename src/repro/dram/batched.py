@@ -1,0 +1,660 @@
+"""The batched array-kernel channel engine (the production controller).
+
+:class:`BatchedController` is a drop-in replacement for
+:class:`~repro.dram.controller.MemoryController` that trades the scalar
+engine's per-request object dispatch for structure-of-arrays state:
+
+* **SoA request buffer** — a request's arrival / direction / row / dense
+  bank id live in parallel lists indexed by a monotone request id (rid);
+  the scheduler's heaps hold bare ``(arrival, rid)`` int pairs instead of
+  entry objects, with liveness in one ``bytearray`` (lazy deletion and
+  wholesale compaction exactly as in :class:`~repro.dram.scheduler.FRFCFS`).
+* **Dense bank state** — per-channel banks are numbered
+  ``(rank * bankgroups + bankgroup) * banks_per_group + bank`` and kept in
+  one flat list, killing the per-access dict hashing of flat-bank tuples.
+* **Pre-decoded enqueue** — callers that decoded a whole tile through
+  :meth:`~repro.dram.address.AddressMapper.map_arrays` hand coordinates in
+  as ints (:meth:`enqueue_decoded`); nothing on the service path touches a
+  ``DRAMCoord``.
+* **Flat service kernel** — refill, FR-FCFS take, and command timing run in
+  one frame with the JEDEC constants hoisted to locals; bank/bus math is
+  inlined from :mod:`repro.dram.bank`.
+
+The engine is *bitwise equivalent* to the scalar oracle: identical pick
+order (``(arrival, rid)`` reproduces the oracle's ``(arrival, seq)`` — rids
+are assigned in enqueue order and refill is FIFO), identical command
+streams (including refresh, which walks banks in dense order on both
+sides), and identical statistics accumulated in the same order with the
+same float operations.  ``tests/dram/test_engine_differential.py`` holds
+the differential suite; select the oracle with ``DRAMConfig.engine =
+"scalar"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heapify, heappop, heappush
+
+from repro.common.config import DRAMConfig
+from repro.common.stats import Stats
+from repro.common.types import DRAMCoord, DRAMRequest
+from repro.dram.address import AddressMapper
+from repro.dram.bank import BankState, ChannelBusState, RankState
+
+#: FR-FCFS starvation bound, matching :class:`repro.dram.scheduler.FRFCFS`.
+AGE_CAP = 2000
+
+#: Reclaim SoA storage once the retired tail exceeds this many slots (only
+#: at quiescent points, where no rid can still be referenced).
+_RESET_THRESHOLD = 1 << 16
+
+
+class _SchedulerHandle:
+    """Stand-in scheduler object for the batched engine's compat surface.
+
+    The engine schedules inline, but the observability layer attaches a
+    starvation probe via ``controller.scheduler.obs`` (see
+    :meth:`repro.obs.events.EventBus.attach`) — this is that attach point.
+    """
+
+    __slots__ = ("obs", "age_cap")
+
+    def __init__(self, age_cap: int = AGE_CAP) -> None:
+        self.obs = None
+        self.age_cap = age_cap
+
+
+class _BufferView:
+    """Sized view of the request buffer (``len(ctrl.buffer)`` compat)."""
+
+    __slots__ = ("_ctrl",)
+
+    def __init__(self, ctrl: "BatchedController") -> None:
+        self._ctrl = ctrl
+
+    def __len__(self) -> int:
+        return self._ctrl._buffered
+
+    def __bool__(self) -> bool:
+        return self._ctrl._buffered > 0
+
+
+class BatchedController:
+    """Batched timing model of a single DDR4 channel.
+
+    External surface (time, stats, observers, ``banks``, ``buffer``,
+    enqueue/service/drain) mirrors :class:`MemoryController`; see the
+    module docstring for what differs inside.
+    """
+
+    def __init__(self, channel: int, config: DRAMConfig,
+                 mapper: AddressMapper, scheduler=None,
+                 command_log_limit: int | None = None) -> None:
+        if config.scheduler not in ("frfcfs", "fcfs"):
+            raise ValueError(
+                f"batched engine supports frfcfs/fcfs, not "
+                f"{config.scheduler!r} (use engine='scalar')"
+            )
+        if scheduler is not None:
+            raise ValueError("batched engine schedules inline; "
+                             "use engine='scalar' for custom schedulers")
+        self.channel = channel
+        self.config = config
+        self.timing = config.timing
+        self.mapper = mapper
+        self.scheduler = _SchedulerHandle()
+        self._fcfs = config.scheduler == "fcfs"
+        self._closed_page = config.page_policy == "closed"
+
+        # Dense bank/rank state.  bank_id = (rank*BG + bg)*BPG + bank.
+        self._bankgroups = config.bankgroups
+        self._banks_per_group = config.banks_per_group
+        self._banks_per_rank = config.bankgroups * config.banks_per_group
+        n_banks = config.ranks * self._banks_per_rank
+        self._bank_list = [BankState() for _ in range(n_banks)]
+        self._rank_list = [RankState() for _ in range(config.ranks)]
+        self._fb: list[tuple[int, int, int, int]] = []
+        self.banks: dict[tuple, BankState] = {}
+        for bid in range(n_banks):
+            rank, rem = divmod(bid, self._banks_per_rank)
+            bg, bank = divmod(rem, self._banks_per_group)
+            fb = (channel, rank, bg, bank)
+            self._fb.append(fb)
+            self.banks[fb] = self._bank_list[bid]
+        self.ranks: dict[int, RankState] = dict(enumerate(self._rank_list))
+        if config.refresh:
+            for rank_state in self._rank_list:
+                rank_state.next_ref = self.timing.tREFI
+            self._next_ref = self.timing.tREFI
+        else:
+            self._next_ref = 1 << 62
+        self.bus = ChannelBusState()
+
+        # SoA request storage, indexed by rid (monotone per enqueue).
+        self._arr: list[int] = []       # arrival cycle
+        self._w: list[bool] = []        # is_write
+        self._row: list[int] = []
+        self._bg: list[int] = []
+        self._bid: list[int] = []       # dense bank id
+        self._req: list = []            # DRAMRequest (cleared on retire)
+        self._alive = bytearray()
+        self.input_queue: deque[int] = deque()
+        self._buffered = 0
+        self._dead = 0
+
+        # Inline FR-FCFS index over (arrival, rid) pairs.
+        self._any: list[tuple[int, int]] = []
+        # bank_id -> row -> (read_heap, write_heap)
+        self._groups: dict[int, dict[int, tuple[list, list]]] = {}
+        self._hot: dict[int, tuple[list, list]] = {}
+
+        self.buffer = _BufferView(self)
+        self.time = 0
+        self.stats = Stats()
+        self._last_occ_time = 0
+        self._buffer_cap = config.request_buffer
+        self._line_bytes = config.line_bytes
+        # JEDEC constants as plain instance ints, hoisted to locals by the
+        # service kernel (the frozen-dataclass reads added up).
+        t = self.timing
+        self._tRP = t.tRP
+        self._tRCD = t.tRCD
+        self._tRAS = t.tRAS
+        self._tRC = t.tRC
+        self._tRTP = t.tRTP
+        self._tWR = t.tWR
+        self._tCL = t.tCL
+        self._tCWL = t.tCWL
+        self._tBL = t.tBL
+        self._tCCD_S = t.tCCD_S
+        self._tCCD_L = t.tCCD_L
+        self._tRRD_S = t.tRRD_S
+        self._tRRD_L = t.tRRD_L
+        self._tFAW = t.tFAW
+        self.command_observers: list = []
+        self.command_log: list[tuple] = []
+        self.command_log_limit = command_log_limit
+
+    # ------------------------------------------------------------- observers
+
+    @property
+    def record_commands(self) -> bool:
+        """Whether commands are appended to ``command_log`` (legacy API)."""
+        return self._record_command in self.command_observers
+
+    @record_commands.setter
+    def record_commands(self, value: bool) -> None:
+        recording = self.record_commands
+        if value and not recording:
+            self.command_observers.append(self._record_command)
+        elif not value and recording:
+            self.command_observers.remove(self._record_command)
+
+    def _record_command(self, kind: str, cycle: int, bank: tuple,
+                        row: int) -> None:
+        limit = self.command_log_limit
+        if limit is not None and len(self.command_log) >= limit:
+            self.stats.add("command_log_dropped")
+            return
+        self.command_log.append((kind, cycle, bank, row))
+
+    # ------------------------------------------------------------- producers
+
+    def enqueue(self, req: DRAMRequest) -> None:
+        """Accept a request; decode via the (memoized) scalar map."""
+        coord = self.mapper.map(req.addr)
+        self.enqueue_coord(req, coord)
+
+    def enqueue_coord(self, req: DRAMRequest, coord: DRAMCoord) -> None:
+        if coord.channel != self.channel:
+            raise ValueError(
+                f"request for channel {coord.channel} routed to {self.channel}"
+            )
+        self._push(req, coord.rank, coord.bankgroup, coord.bank, coord.row)
+
+    def enqueue_decoded(self, req: DRAMRequest, rank: int, bankgroup: int,
+                        bank: int, row: int) -> None:
+        """Accept a request with pre-decoded coordinates (batch decode)."""
+        self._push(req, rank, bankgroup, bank, row)
+
+    def _push(self, req: DRAMRequest, rank: int, bankgroup: int, bank: int,
+              row: int) -> None:
+        if (not self._buffered and not self.input_queue
+                and len(self._arr) > _RESET_THRESHOLD):
+            self._reset_storage()
+        self._arr.append(req.arrival)
+        self._w.append(req.is_write)
+        self._row.append(row)
+        self._bg.append(bankgroup)
+        self._bid.append((rank * self._bankgroups + bankgroup)
+                         * self._banks_per_group + bank)
+        self._req.append(req)
+        self._alive.append(0)
+        self.input_queue.append(len(self._arr) - 1)
+        counters = self.stats.counters
+        counters["requests"] += 1
+        counters["writes" if req.is_write else "reads"] += 1
+
+    def _reset_storage(self) -> None:
+        """Reclaim SoA slots at a quiescent point (nothing in flight).
+
+        Rid relative order is preserved for all future requests, so the
+        ``(arrival, rid)`` tie-break stays equivalent to the oracle's
+        monotone ``seq`` (ties are only ever compared among co-buffered
+        requests).
+        """
+        del self._arr[:]
+        del self._w[:]
+        del self._row[:]
+        del self._bg[:]
+        del self._bid[:]
+        del self._req[:]
+        self._alive = bytearray()
+        self._any = []
+        self._groups = {}
+        self._hot = {}
+        self._dead = 0
+
+    @property
+    def pending(self) -> int:
+        return self._buffered + len(self.input_queue)
+
+    def next_event(self) -> int | None:
+        """Earliest cycle this channel has schedulable work, or None."""
+        if self._buffered:
+            return self.time
+        if self.input_queue:
+            arrival = self._arr[self.input_queue[0]]
+            return arrival if arrival > self.time else self.time
+        return None
+
+    # ------------------------------------------------------------- scheduling
+
+    def _refill(self, now: int) -> None:
+        """Move arrived requests into the scheduling window, oldest first."""
+        queue = self.input_queue
+        arr = self._arr
+        cap = self._buffer_cap
+        buffered = self._buffered
+        any_heap = self._any
+        alive = self._alive
+        if self._fcfs:
+            while queue and buffered < cap and arr[queue[0]] <= now:
+                rid = queue.popleft()
+                alive[rid] = 1
+                heappush(any_heap, (arr[rid], rid))
+                buffered += 1
+            self._buffered = buffered
+            return
+        groups = self._groups
+        hot = self._hot
+        rows = self._row
+        bids = self._bid
+        writes = self._w
+        bank_list = self._bank_list
+        while queue and buffered < cap and arr[queue[0]] <= now:
+            rid = queue.popleft()
+            alive[rid] = 1
+            node = (arr[rid], rid)
+            heappush(any_heap, node)
+            buffered += 1
+            bid = bids[rid]
+            row = rows[rid]
+            rows_map = groups.get(bid)
+            if rows_map is None:
+                rows_map = groups[bid] = {}
+            pair = rows_map.get(row)
+            if pair is None:
+                pair = rows_map[row] = ([], [])
+            heappush(pair[1] if writes[rid] else pair[0], node)
+            if bank_list[bid].open_row == row:
+                hot[bid] = pair
+        self._buffered = buffered
+
+    def _note_occupancy(self, now: int) -> None:
+        dt = now - self._last_occ_time
+        if dt > 0:
+            self.stats.observe("occupancy", self._buffered, dt)
+            self._last_occ_time = now
+
+    def _take(self, now: int) -> int:
+        """Pick and remove the next rid (inline FR-FCFS / FCFS)."""
+        any_heap = self._any
+        alive = self._alive
+        if self._fcfs:
+            rid = heappop(any_heap)[1]
+            alive[rid] = 0
+            self._buffered -= 1
+            return rid
+        while not alive[any_heap[0][1]]:
+            heappop(any_heap)
+            self._dead -= 1
+        oldest = any_heap[0]
+        if now - oldest[0] > AGE_CAP:
+            rid = oldest[1]
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.starvation(now)
+        else:
+            best_dir = best_hit = None
+            hot = self._hot
+            stale = None
+            last_was_write = self.bus.last_was_write
+            dead = 0
+            for hot_bid, pair in hot.items():
+                read_heap, write_heap = pair
+                while read_heap and not alive[read_heap[0][1]]:
+                    heappop(read_heap)
+                    dead += 1
+                while write_heap and not alive[write_heap[0][1]]:
+                    heappop(write_heap)
+                    dead += 1
+                if read_heap:
+                    head = read_heap[0]
+                    if best_hit is None or head < best_hit:
+                        best_hit = head
+                    if not last_was_write and (
+                            best_dir is None or head < best_dir):
+                        best_dir = head
+                if write_heap:
+                    head = write_heap[0]
+                    if best_hit is None or head < best_hit:
+                        best_hit = head
+                    if last_was_write and (
+                            best_dir is None or head < best_dir):
+                        best_dir = head
+                elif not read_heap:
+                    stale = [hot_bid] if stale is None else stale + [hot_bid]
+            if dead:
+                self._dead -= dead
+            if stale is not None:
+                for hot_bid in stale:
+                    del hot[hot_bid]
+            if best_dir is not None:
+                rid = best_dir[1]
+            elif best_hit is not None:
+                rid = best_hit[1]
+            else:
+                rid = oldest[1]
+        alive[rid] = 0
+        self._buffered -= 1
+        self._dead += 1
+        if self._dead > 64 and self._dead > 2 * self._buffered:
+            self._compact()
+        return rid
+
+    def _compact(self) -> None:
+        """Drop dead nodes from every heap and rebuild the hot set."""
+        alive = self._alive
+        self._any = [node for node in self._any if alive[node[1]]]
+        heapify(self._any)
+        groups = self._groups
+        for rows_map in groups.values():
+            for row in list(rows_map):
+                read_heap, write_heap = rows_map[row]
+                read_heap[:] = [n for n in read_heap if alive[n[1]]]
+                write_heap[:] = [n for n in write_heap if alive[n[1]]]
+                if read_heap:
+                    heapify(read_heap)
+                if write_heap:
+                    heapify(write_heap)
+                if not read_heap and not write_heap:
+                    del rows_map[row]
+        self._hot = {}
+        bank_list = self._bank_list
+        for bid, rows_map in groups.items():
+            open_row = bank_list[bid].open_row
+            if open_row is not None:
+                pair = rows_map.get(open_row)
+                if pair is not None and (pair[0] or pair[1]):
+                    self._hot[bid] = pair
+        self._dead = 0
+
+    # ------------------------------------------------------------- refresh
+
+    def _refresh_catch_up(self, now: int) -> None:
+        """Issue every REF whose tREFI point has passed (dense bank walk).
+
+        Mirrors the scalar engine's refresh semantics exactly: close open
+        rows at ``max(pre_ready, due)``, REF at the latest of the due
+        point, the previous REF's recovery, and every bank's ``act_ready``;
+        the schedule stays pinned to multiples of tREFI.
+        """
+        timing = self.timing
+        observers = self.command_observers
+        counters = self.stats.counters
+        hot = self._hot
+        bank_list = self._bank_list
+        banks_per_rank = self._banks_per_rank
+        for rank_id, rank in enumerate(self._rank_list):
+            while rank.next_ref <= now:
+                due = rank.next_ref
+                t_ref = due if due > rank.ref_done else rank.ref_done
+                base = rank_id * banks_per_rank
+                for bid in range(base, base + banks_per_rank):
+                    bank = bank_list[bid]
+                    if bank.open_row is not None:
+                        t_pre = bank.pre_ready
+                        if due > t_pre:
+                            t_pre = due
+                        row = bank.open_row
+                        bank.precharge(t_pre, timing)
+                        hot.pop(bid, None)
+                        if observers:
+                            fb = self._fb[bid]
+                            for obs in observers:
+                                obs("PRE", t_pre, fb, row)
+                        counters["refresh_row_closes"] += 1
+                    if bank.act_ready > t_ref:
+                        t_ref = bank.act_ready
+                if observers:
+                    fb = (self.channel, rank_id, 0, 0)
+                    for obs in observers:
+                        obs("REF", t_ref, fb, -1)
+                counters["refreshes"] += 1
+                rank.ref_done = t_ref + timing.tRFC
+                rank.next_ref = due + timing.tREFI
+        self._next_ref = min(r.next_ref for r in self._rank_list)
+
+    # ------------------------------------------------------------- service
+
+    def service_one(self) -> DRAMRequest | None:
+        """Schedule and complete one request; returns it, or None if idle.
+
+        One flat kernel: refill, pick, and the full ACT/PRE/column timing
+        advance run in this frame with the JEDEC constants in locals.
+        """
+        arr = self._arr
+        queue = self.input_queue
+        now = self.time
+        if queue and self._buffered < self._buffer_cap and arr[queue[0]] <= now:
+            self._refill(now)
+        if not self._buffered:
+            if not queue:
+                return None
+            # Idle gap: skip ahead to the next arrival.
+            self._note_occupancy(now)
+            arrival = arr[queue[0]]
+            if arrival > now:
+                now = arrival
+            self.time = now
+            self._last_occ_time = now
+            self._refill(now)
+        rid = self._take(now)
+
+        # ------------------------------------------------- execute (inline)
+        stats = self.stats
+        counters = stats.counters
+        observers = self.command_observers
+        arrival = arr[rid]
+        earliest = now if now > arrival else arrival
+        if earliest >= self._next_ref:
+            # Refresh points have passed: catch up before the row-state
+            # check — a REF closes every open row in its rank.
+            self._refresh_catch_up(earliest)
+        bid = self._bid[rid]
+        row = self._row[rid]
+        bg = self._bg[rid]
+        is_write = self._w[rid]
+        req = self._req[rid]
+        bank = self._bank_list[bid]
+
+        if bank.open_row == row:
+            counters["row_hits"] += 1
+            req.row_hit = True
+            t_col_min = bank.col_ready
+            if earliest > t_col_min:
+                t_col_min = earliest
+        else:
+            rank = self._rank_list[bid // self._banks_per_rank]
+            if bank.open_row is not None:
+                counters["row_conflicts"] += 1
+                t_pre = bank.pre_ready
+                if earliest > t_pre:
+                    t_pre = earliest
+                old_row = bank.open_row
+                bank.open_row = None
+                t = t_pre + self._tRP
+                if t > bank.act_ready:
+                    bank.act_ready = t
+                self._hot.pop(bid, None)
+                if observers:
+                    fb = self._fb[bid]
+                    for obs in observers:
+                        obs("PRE", t_pre, fb, old_row)
+            else:
+                counters["row_empty"] += 1
+            t_act = bank.act_ready
+            if earliest > t_act:
+                t_act = earliest
+            # Inline RankState.earliest_act: tRRD spacing plus the tFAW
+            # four-activate window.
+            spacing = (self._tRRD_L if bg == rank.last_act_bg
+                       else self._tRRD_S)
+            rank_ready = rank.last_act + spacing
+            times = rank.last_act_times
+            if len(times) >= 4:
+                faw = times[-4] + self._tFAW
+                if faw > rank_ready:
+                    rank_ready = faw
+            if rank_ready > t_act:
+                t_act = rank_ready
+            if rank.ref_done > t_act:
+                t_act = rank.ref_done
+            # Inline BankState.activate.
+            bank.open_row = row
+            bank.last_act = t_act
+            t = t_act + self._tRCD
+            if t > bank.col_ready:
+                bank.col_ready = t
+            t = t_act + self._tRAS
+            if t > bank.pre_ready:
+                bank.pre_ready = t
+            t = t_act + self._tRC
+            if t > bank.act_ready:
+                bank.act_ready = t
+            # Inline RankState.record_act.
+            rank.last_act = t_act
+            rank.last_act_bg = bg
+            times.append(t_act)
+            if len(times) > 8:
+                del times[:-4]
+            if not self._fcfs:
+                rows_map = self._groups.get(bid)
+                pair = rows_map.get(row) if rows_map is not None else None
+                if pair is not None and (pair[0] or pair[1]):
+                    self._hot[bid] = pair
+                else:
+                    self._hot.pop(bid, None)
+            if observers:
+                fb = self._fb[bid]
+                for obs in observers:
+                    obs("ACT", t_act, fb, row)
+            t_col_min = bank.col_ready
+
+        # Inline ChannelBusState.earliest_col / record_col.
+        bus = self.bus
+        spacing = self._tCCD_L if bg == bus.last_col_bg else self._tCCD_S
+        t_col = bus.last_col + spacing
+        if bus.last_was_write != is_write:
+            turn = bus.last_col + self._tCCD_L
+            if turn > t_col:
+                t_col = turn
+        latency = self._tCWL if is_write else self._tCL
+        free = bus.data_free - latency
+        if free > t_col:
+            t_col = free
+        if t_col_min > t_col:
+            t_col = t_col_min
+        bus.last_col = t_col
+        bus.last_col_bg = bg
+        bus.last_was_write = is_write
+        bus.data_free = t_col + latency + self._tBL
+        if observers:
+            fb = self._fb[bid]
+            kind = "WR" if is_write else "RD"
+            for obs in observers:
+                obs(kind, t_col, fb, row)
+        if is_write:
+            t = t_col + self._tCWL + self._tBL + self._tWR
+            if t > bank.pre_ready:
+                bank.pre_ready = t
+            req.finish = t_col + self._tCWL + self._tBL
+        else:
+            t = t_col + self._tRTP
+            if t > bank.pre_ready:
+                bank.pre_ready = t
+            req.finish = t_col + self._tCL + self._tBL
+        req.start = t_col
+        if self._closed_page:
+            # Auto-precharge (RDA/WRA): close the row as soon as legal.
+            t_pre = bank.pre_ready
+            bank.open_row = None
+            t = t_pre + self._tRP
+            if t > bank.act_ready:
+                bank.act_ready = t
+            self._hot.pop(bid, None)
+            if observers:
+                fb = self._fb[bid]
+                for obs in observers:
+                    obs("PRE", t_pre, fb, row)
+
+        dt = t_col - self._last_occ_time
+        if dt > 0:
+            stats.observe("occupancy", self._buffered, dt)
+            self._last_occ_time = t_col
+        if t_col > self.time:
+            self.time = t_col
+        counters["serviced"] += 1
+        counters["bytes"] += self._line_bytes
+        mins = stats.mins
+        cur = mins.get("first_arrival")
+        if cur is None or arrival < cur:
+            mins["first_arrival"] = arrival
+        maxs = stats.maxs
+        cur = maxs.get("last_finish")
+        if cur is None or req.finish > cur:
+            maxs["last_finish"] = req.finish
+        self._req[rid] = None
+        return req
+
+    def service_until_done(self, req: DRAMRequest) -> None:
+        while req.finish < 0:
+            if self.service_one() is None:
+                raise RuntimeError("request never enqueued on this channel")
+
+    def drain(self) -> None:
+        while self.service_one() is not None:
+            pass
+
+    # ------------------------------------------------------------- metrics
+
+    def row_buffer_hit_rate(self) -> float:
+        """Fraction of serviced requests that hit an open row."""
+        serviced = self.stats.get("serviced")
+        if serviced == 0:
+            return 0.0
+        return self.stats.get("row_hits") / serviced
+
+    def mean_occupancy(self) -> float:
+        return self.stats.mean("occupancy")

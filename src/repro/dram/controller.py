@@ -46,7 +46,19 @@ class MemoryController:
         self.mapper = mapper
         self.scheduler = scheduler or make_scheduler(config.scheduler)
         self.banks: dict[tuple, BankState] = {}
-        self.ranks: dict[int, RankState] = {}
+        # Ranks are created eagerly: the refresh schedule ticks for every
+        # rank from cycle zero, not just ranks that have seen traffic.
+        self.ranks: dict[int, RankState] = {
+            r: RankState() for r in range(config.ranks)
+        }
+        # Per-rank all-bank refresh every tREFI (blocking tRFC).  The hot
+        # path pays one comparison against the earliest pending REF point.
+        if config.refresh:
+            for rank in self.ranks.values():
+                rank.next_ref = self.timing.tREFI
+            self._next_ref = self.timing.tREFI
+        else:
+            self._next_ref = 1 << 62
         self.bus = ChannelBusState()
         self.buffer: list[tuple[DRAMRequest, DRAMCoord]] = []
         self.input_queue: deque[tuple[DRAMRequest, DRAMCoord]] = deque()
@@ -110,7 +122,11 @@ class MemoryController:
     def enqueue(self, req: DRAMRequest) -> None:
         """Accept a request; it becomes schedulable once ``time`` reaches its
         arrival and a buffer slot frees up."""
-        coord = self.mapper.map(req.addr)
+        self.enqueue_coord(req, self.mapper.map(req.addr))
+
+    def enqueue_coord(self, req: DRAMRequest, coord: DRAMCoord) -> None:
+        """Accept a request whose address is already decoded (the system
+        routes on the decode, so the controller need not re-map)."""
         if coord.channel != self.channel:
             raise ValueError(
                 f"request for channel {coord.channel} routed to {self.channel}"
@@ -120,9 +136,34 @@ class MemoryController:
         counters["requests"] += 1
         counters["writes" if req.is_write else "reads"] += 1
 
+    def enqueue_decoded(self, req: DRAMRequest, rank: int, bankgroup: int,
+                        bank: int, row: int) -> None:
+        """Pre-decoded enqueue (batch-decode callers).
+
+        The scalar oracle re-derives the coordinate from the address — the
+        memoized map shares one ``DRAMCoord`` per line, so this is a dict
+        hit — which keeps the oracle independent of callers' decode math.
+        """
+        self.enqueue_coord(req, self.mapper.map(req.addr))
+
     @property
     def pending(self) -> int:
         return len(self.buffer) + len(self.input_queue)
+
+    def next_event(self) -> int | None:
+        """Earliest cycle this channel has schedulable work, or None.
+
+        Buffered requests are serviceable at the controller's current time;
+        an empty buffer skips ahead to the head-of-queue arrival.  The
+        system-level drain orders channels by this value so cross-channel
+        command emission stays roughly in time order.
+        """
+        if self.buffer:
+            return self.time
+        if self.input_queue:
+            arrival = self.input_queue[0][0].arrival
+            return arrival if arrival > self.time else self.time
+        return None
 
     # ------------------------------------------------------------- scheduling
 
@@ -193,11 +234,54 @@ class MemoryController:
         return state
 
     def _rank(self, coord: DRAMCoord) -> RankState:
-        state = self.ranks.get(coord.rank)
-        if state is None:
-            state = RankState()
-            self.ranks[coord.rank] = state
-        return state
+        return self.ranks[coord.rank]
+
+    def _refresh_catch_up(self, now: int) -> None:
+        """Issue every REF whose tREFI point has passed, on every rank.
+
+        An all-bank REF first closes any open rows in the rank (emitting the
+        PREs), then blocks the whole rank for tRFC; banks touched later see
+        the block through ``RankState.ref_done`` in the ACT path.  The
+        schedule is fixed at multiples of tREFI — a late REF does not slip
+        the next one.
+        """
+        timing = self.timing
+        observers = self.command_observers
+        counters = self.stats.counters
+        on_precharge = self._on_precharge
+        for rank_id, rank in self.ranks.items():
+            while rank.next_ref <= now:
+                due = rank.next_ref
+                t_ref = due if due > rank.ref_done else rank.ref_done
+                # Sorted iteration: the PREs closing a rank's open rows are
+                # emitted in (rank, bankgroup, bank) order, matching the
+                # batched engine's dense bank-id order command for command.
+                for fb in sorted(self.banks):
+                    if fb[1] != rank_id:
+                        continue
+                    bank = self.banks[fb]
+                    if bank.open_row is not None:
+                        t_pre = bank.pre_ready
+                        if due > t_pre:
+                            t_pre = due
+                        row = bank.open_row
+                        bank.precharge(t_pre, timing)
+                        if on_precharge is not None:
+                            on_precharge(fb)
+                        if observers:
+                            for obs in observers:
+                                obs("PRE", t_pre, fb, row)
+                        counters["refresh_row_closes"] += 1
+                    if bank.act_ready > t_ref:
+                        t_ref = bank.act_ready
+                if observers:
+                    fb = (self.channel, rank_id, 0, 0)
+                    for obs in observers:
+                        obs("REF", t_ref, fb, -1)
+                counters["refreshes"] += 1
+                rank.ref_done = t_ref + timing.tRFC
+                rank.next_ref = due + timing.tREFI
+        self._next_ref = min(r.next_ref for r in self.ranks.values())
 
     def _execute(self, req: DRAMRequest, coord: DRAMCoord) -> None:
         timing = self.timing
@@ -211,6 +295,10 @@ class MemoryController:
         earliest = self.time
         if req.arrival > earliest:
             earliest = req.arrival
+        if earliest >= self._next_ref:
+            # Refresh points have passed: catch up before the row-state
+            # check — a REF closes every open row in its rank.
+            self._refresh_catch_up(earliest)
 
         if bank.open_row == coord.row:
             counters["row_hits"] += 1
@@ -219,20 +307,21 @@ class MemoryController:
             if earliest > t_col_min:
                 t_col_min = earliest
         else:
-            rank = self.ranks.get(coord.rank)
-            if rank is None:
-                rank = RankState()
-                self.ranks[coord.rank] = rank
+            rank = self.ranks[coord.rank]
             if bank.open_row is not None:
                 counters["row_conflicts"] += 1
                 t_pre = bank.pre_ready
                 if earliest > t_pre:
                     t_pre = earliest
+                old_row = bank.open_row
                 bank.precharge(t_pre, timing)
                 if self._on_precharge is not None:
                     self._on_precharge(flat_bank)
                 if observers:
-                    self._emit("PRE", t_pre, coord)
+                    # A PRE reports the row it closes (as on the refresh
+                    # path), not the conflicting requester's row.
+                    for obs in observers:
+                        obs("PRE", t_pre, flat_bank, old_row)
             else:
                 counters["row_empty"] += 1
             t_act = bank.act_ready
@@ -241,6 +330,8 @@ class MemoryController:
             rank_ready = rank.earliest_act(coord.bankgroup, timing)
             if rank_ready > t_act:
                 t_act = rank_ready
+            if rank.ref_done > t_act:
+                t_act = rank.ref_done
             bank.activate(coord.row, t_act, timing)
             rank.record_act(coord.bankgroup, t_act)
             if self._on_activate is not None:

@@ -2,16 +2,27 @@
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
+
 from repro.common.config import CYCLE_NS, DRAMConfig
 from repro.common.stats import Stats
 from repro.common.types import DRAMRequest
 from repro.dram.address import AddressMapper
 from repro.dram.audit import CommandAuditor
+from repro.dram.batched import BatchedController
 from repro.dram.controller import MemoryController
 
 
 class DRAMSystem:
     """All memory channels behind a single enqueue/complete interface.
+
+    ``config.engine`` selects the per-channel engine: ``"batched"`` (the
+    structure-of-arrays production engine,
+    :class:`~repro.dram.batched.BatchedController`) or ``"scalar"`` (the
+    per-request oracle, :class:`~repro.dram.controller.MemoryController`).
+    Both produce bitwise-identical command streams and metrics; reference
+    (``ref-*``) schedulers are only available on the scalar engine, so the
+    system falls back to it for those.
 
     ``audit=True`` (or ``config.audit``) attaches one
     :class:`~repro.dram.audit.CommandAuditor` to every channel's command
@@ -24,13 +35,21 @@ class DRAMSystem:
                  audit: bool | None = None) -> None:
         self.config = config or DRAMConfig()
         self.mapper = mapper or AddressMapper(self.config)
+        engine = self.config.engine
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown DRAM engine {engine!r}")
+        if engine == "batched" and self.config.scheduler in ("frfcfs", "fcfs"):
+            controller_cls = BatchedController
+        else:
+            controller_cls = MemoryController
         self.controllers = [
-            MemoryController(ch, self.config, self.mapper)
+            controller_cls(ch, self.config, self.mapper)
             for ch in range(self.config.channels)
         ]
         self.auditor: CommandAuditor | None = None
         if self.config.audit if audit is None else audit:
-            self.auditor = CommandAuditor(self.config.timing)
+            self.auditor = CommandAuditor(self.config.timing,
+                                          refresh=self.config.refresh)
             for ctrl in self.controllers:
                 self.auditor.attach(ctrl)
 
@@ -49,30 +68,77 @@ class DRAMSystem:
     def channel_of(self, addr: int) -> int:
         return self.mapper.map(addr).channel
 
-    def enqueue(self, req: DRAMRequest) -> MemoryController:
-        ctrl = self.controllers[self.channel_of(req.addr)]
-        ctrl.enqueue(req)
+    def enqueue(self, req: DRAMRequest):
+        coord = self.mapper.map(req.addr)
+        req.channel = coord.channel
+        ctrl = self.controllers[coord.channel]
+        ctrl.enqueue_coord(req, coord)
         return ctrl
 
     def access(self, addr: int, is_write: bool, arrival: int,
-               meta: object = None) -> DRAMRequest:
-        """Convenience: enqueue a line request and return its record."""
+               meta: object = None, decoded: tuple | None = None
+               ) -> DRAMRequest:
+        """Convenience: enqueue a line request and return its record.
+
+        ``decoded`` is an optional pre-decoded ``(channel, rank, bankgroup,
+        bank, row)`` tuple — callers that decoded a whole tile through
+        :meth:`AddressMapper.map_arrays` pass it to skip the per-line map.
+        """
         req = DRAMRequest(addr=addr, is_write=is_write, arrival=arrival,
                           meta=meta)
-        self.enqueue(req)
+        if decoded is None:
+            coord = self.mapper.map(addr)
+            req.channel = coord.channel
+            self.controllers[coord.channel].enqueue_coord(req, coord)
+        else:
+            req.channel = decoded[0]
+            self.controllers[decoded[0]].enqueue_decoded(
+                req, decoded[1], decoded[2], decoded[3], decoded[4])
         return req
 
     def complete(self, req: DRAMRequest) -> int:
         """Service the owning channel until ``req`` finishes; returns that
         cycle."""
-        if not req.done:
-            ctrl = self.controllers[self.channel_of(req.addr)]
-            ctrl.service_until_done(req)
+        if req.finish < 0:
+            channel = req.channel
+            if channel < 0:
+                channel = self.channel_of(req.addr)
+            self.controllers[channel].service_until_done(req)
         return req.finish
 
     def drain(self) -> None:
-        for ctrl in self.controllers:
-            ctrl.drain()
+        """Service every channel to completion.
+
+        Channels are independent, but the drain advances them through a
+        next-event heap — always servicing the channel whose next
+        schedulable cycle is earliest, in event batches bounded by the
+        runner-up channel's next event — so skipped idle gaps never run a
+        channel far ahead and cross-channel command/observer emission stays
+        roughly in time order.
+        """
+        controllers = self.controllers
+        if len(controllers) == 1:
+            controllers[0].drain()
+            return
+        heap = []
+        for index, ctrl in enumerate(controllers):
+            t = ctrl.next_event()
+            if t is not None:
+                heap.append((t, index))
+        heapify(heap)
+        while heap:
+            _, index = heappop(heap)
+            ctrl = controllers[index]
+            bound = heap[0][0] if heap else None
+            while True:
+                if ctrl.service_one() is None:
+                    break
+                t = ctrl.next_event()
+                if t is None:
+                    break
+                if bound is not None and t > bound:
+                    heappush(heap, (t, index))
+                    break
 
     # ------------------------------------------------------------- metrics
 

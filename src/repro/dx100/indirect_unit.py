@@ -172,7 +172,8 @@ class IndirectUnit:
             if kind in ("st", "rmw") and not pline.h_bit:
                 # Write the modified line back through the DRAM interface.
                 wr = self.dram.access(pline.line_addr, is_write=True,
-                                      arrival=completion + 1)
+                                      arrival=completion + 1,
+                                      decoded=pline.coord + (pline.row,))
                 wb_lines += 1
                 if wb_lo < 0 or wr.arrival < wb_lo:
                     wb_lo = wr.arrival
@@ -225,14 +226,19 @@ class IndirectUnit:
         occupancy = row_table.occupancy if obs is not None else 0
         out = []
         drain_rate = self.config.drain_rate
+        is_write = kind in ("st", "rmw")
         for j, pline in enumerate(row_table.drain()):
             arrival = t + j // drain_rate
+            # The tile was decoded wholesale by map_arrays at fill time;
+            # the Row Table carries the coordinates, so neither path below
+            # re-maps the line.
+            decoded = pline.coord + (pline.row,)
             if pline.h_bit:
                 access = self.hierarchy.llc_access(
-                    pline.line_addr, kind in ("st", "rmw"), arrival)
+                    pline.line_addr, is_write, arrival, decoded=decoded)
             else:
                 req = self.dram.access(pline.line_addr, is_write=False,
-                                       arrival=arrival)
+                                       arrival=arrival, decoded=decoded)
                 access = _DirectAccess(req)
             out.append((pline, access))
         if obs is not None and out:

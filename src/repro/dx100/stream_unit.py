@@ -69,7 +69,19 @@ class StreamUnit:
         t = t_start
         window = self.config.request_table
         rate = self.config.stream_issue_rate
-        for j, line in enumerate(lines.tolist()):
+        # Whole-tile decode: one map_arrays call replaces a per-line
+        # mapper.map on every LLC miss below.
+        line_list = lines.tolist()
+        if line_list:
+            fields = self.dram.mapper.map_arrays(lines)
+            decoded = list(zip(
+                fields["channel"].tolist(), fields["rank"].tolist(),
+                fields["bankgroup"].tolist(), fields["bank"].tolist(),
+                fields["row"].tolist(),
+            ))
+        else:
+            decoded = []
+        for j, line in enumerate(line_list):
             if j >= window:
                 # Request-table back-pressure: wait for an older fill.
                 results[j - window].resolve(self.dram)
@@ -78,7 +90,8 @@ class StreamUnit:
             if avail is not None:
                 arrival = max(arrival,
                               int(avail[0] + j * elems_per_line / avail[1]))
-            res = self.hierarchy.llc_access(int(line), is_write, arrival)
+            res = self.hierarchy.llc_access(int(line), is_write, arrival,
+                                            decoded=decoded[j])
             results.append(res)
             t += 1
         completions = [r.resolve(self.dram) for r in results]

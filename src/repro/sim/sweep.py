@@ -193,12 +193,19 @@ class RunCache:
             "quick": task.quick,
             "result": result_to_dict(result),
         }
-        tmp = self._path(key).with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(self._path(key))   # atomic vs concurrent sweeps
+        # Per-process temp name: concurrent sweeps (or a sweep racing a
+        # test run) may store the same key at once, and a shared tmp file
+        # would let one writer rename the other's half-written payload.
+        tmp = self.directory / f"{key}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(self._path(key))   # atomic vs concurrent sweeps
+        finally:
+            tmp.unlink(missing_ok=True)    # only if the rename never ran
 
     def prune(self) -> int:
-        """Delete entries from older model versions; returns count."""
+        """Delete stale entries (older model versions, orphaned temp files
+        from killed writers); returns the number removed."""
         current = model_version()
         removed = 0
         if not self.directory.exists():
@@ -211,6 +218,9 @@ class RunCache:
             except (json.JSONDecodeError, OSError):
                 path.unlink(missing_ok=True)
                 removed += 1
+        for path in self.directory.glob("*.tmp"):
+            path.unlink(missing_ok=True)
+            removed += 1
         return removed
 
 
@@ -357,10 +367,19 @@ class SweepOutcome:
 
 
 def default_jobs() -> int:
+    """Worker count for the sweep pool: ``REPRO_JOBS`` env override, else
+    the scheduling-affinity CPU count (container-aware), else
+    ``os.cpu_count()``."""
     env = os.environ.get("REPRO_JOBS")
     if env:
         return max(1, int(env))
-    return os.cpu_count() or 1
+    # Prefer the scheduling affinity mask: in a container/cgroup the
+    # process may be pinned to far fewer CPUs than the host exposes, and
+    # os.cpu_count() reports the host, oversubscribing the pool.
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):   # non-Linux platforms
+        return os.cpu_count() or 1
 
 
 def _pool_context():
@@ -430,8 +449,15 @@ CONFIG_BUILDERS = {
 def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
                      modes: tuple[str, ...] = MODES, cores: int = 4,
                      audit: bool = False,
-                     sample_every: int = 0) -> list[SweepTask]:
-    """The Figure 9-12 grid: every benchmark under every configuration."""
+                     sample_every: int = 0,
+                     engine: str | None = None) -> list[SweepTask]:
+    """The Figure 9-12 grid: every benchmark under every configuration.
+
+    ``engine`` overrides :attr:`DRAMConfig.engine` for every task
+    (``"scalar"`` runs the whole grid on the per-request oracle — the CI
+    differential check that the goldens hold on both engines).  It is part
+    of each task's cache key, so oracle runs never alias batched ones.
+    """
     from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
     registry = QUICK_BENCHMARKS if quick else MAIN_BENCHMARKS
     names = list(registry) if benchmarks is None else list(benchmarks)
@@ -445,6 +471,9 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
             if audit:
                 config = replace(config,
                                  dram=replace(config.dram, audit=True))
+            if engine is not None:
+                config = replace(config,
+                                 dram=replace(config.dram, engine=engine))
             tasks.append(SweepTask(benchmark=name, mode=mode, quick=quick,
                                    config=config,
                                    sample_every=sample_every))
@@ -457,11 +486,12 @@ def run_main_sweep(quick: bool = False,
                    jobs: int | None = None, cache: bool = True,
                    cache_dir: str | Path | None = None,
                    results_dir: str | Path | None = None,
-                   sample_every: int = 0) -> SweepOutcome:
+                   sample_every: int = 0,
+                   engine: str | None = None) -> SweepOutcome:
     """Run the main-evaluation grid and emit the structured JSON records
     (``results/sweep.json`` + ``BENCH_mainsweep.json``)."""
     tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes,
-                             sample_every=sample_every)
+                             sample_every=sample_every, engine=engine)
     outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir)
     outcome.extras["quick"] = quick
     if results_dir is not None:

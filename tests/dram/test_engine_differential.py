@@ -1,0 +1,272 @@
+"""Differential tests: the batched array-kernel engine vs the scalar oracle.
+
+:class:`~repro.dram.batched.BatchedController` must be *bitwise identical*
+to :class:`~repro.dram.MemoryController` — same command stream (kind,
+cycle, bank, row, in order), same per-request start/finish/row-hit, same
+counters and final time — across every configuration both support.  Two
+layers:
+
+* hypothesis property tests drive randomized request programs (mixed
+  reads/writes, bursty and sparse arrivals, open and closed page, one and
+  two ranks, DDR4 and DDR5) through both engines side by side;
+* seeded long-run tests cross several tREFI refresh intervals and check
+  the refresh machinery (REF/PRE emission, tRFC blocking) agrees command
+  for command, plus system-level equivalence through
+  :class:`~repro.dram.DRAMSystem`'s engine knob.
+
+The auditor's refresh rules get mutation coverage here too: streams with
+REF removed, REF landing on an open bank, or an ACT inside tRFC must be
+flagged — proving the new rules are not vacuous.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import DDR4Timing, DRAMConfig, DRAMRequest
+from repro.common.config import ddr5_6400
+from repro.dram import (AddressMapper, CommandAuditor, DRAMSystem,
+                        MemoryController)
+from repro.dram.batched import BatchedController
+
+T = DDR4Timing()
+
+
+# ------------------------------------------------------------- harness
+
+def _pair(cfg: DRAMConfig):
+    """One scalar oracle + one batched engine on the same channel-0
+    config, each with a command-stream recorder attached."""
+    mapper = AddressMapper(cfg)
+    scalar = MemoryController(0, cfg, mapper)
+    batched = BatchedController(0, cfg, mapper)
+    slog: list[tuple] = []
+    blog: list[tuple] = []
+    scalar.command_observers.append(
+        lambda kind, cycle, bank, row: slog.append((kind, cycle, bank, row)))
+    batched.command_observers.append(
+        lambda kind, cycle, bank, row: blog.append((kind, cycle, bank, row)))
+    return scalar, batched, slog, blog
+
+
+def _requests(cfg: DRAMConfig, program: list[tuple[int, bool, int]]):
+    """Materialize the (line, is_write, gap) program twice — controllers
+    mutate their requests, so each engine needs its own objects."""
+    mapper = AddressMapper(cfg)
+    line = cfg.line_bytes
+    limit = cfg.capacity_bytes
+    out: list[tuple[int, bool, int]] = []
+    t = 0
+    for line_no, is_write, gap in program:
+        addr = (line_no * line) % limit
+        if mapper.map(addr).channel != 0:
+            addr = (addr + line * cfg.channels) % limit
+            if mapper.map(addr).channel != 0:   # pragma: no cover
+                continue
+        t += gap
+        out.append((addr, is_write, t))
+    return (
+        [DRAMRequest(a, w, arrival=t) for a, w, t in out],
+        [DRAMRequest(a, w, arrival=t) for a, w, t in out],
+    )
+
+
+def _assert_equivalent(cfg: DRAMConfig,
+                       program: list[tuple[int, bool, int]]) -> None:
+    scalar, batched, slog, blog = _pair(cfg)
+    reqs_s, reqs_b = _requests(cfg, program)
+    for rs, rb in zip(reqs_s, reqs_b):
+        scalar.enqueue(rs)
+        batched.enqueue(rb)
+    scalar.drain()
+    batched.drain()
+    assert slog == blog
+    for rs, rb in zip(reqs_s, reqs_b):
+        assert (rs.start, rs.finish, rs.row_hit) == \
+            (rb.start, rb.finish, rb.row_hit)
+    assert scalar.time == batched.time
+    assert dict(scalar.stats.counters) == dict(batched.stats.counters)
+    assert scalar.stats.mins == batched.stats.mins
+    assert scalar.stats.maxs == batched.stats.maxs
+    assert scalar.mean_occupancy() == batched.mean_occupancy()
+
+
+# ------------------------------------------------- property: random programs
+
+_program = st.lists(
+    st.tuples(
+        st.integers(0, 1 << 14),          # line number (folds into capacity)
+        st.booleans(),                    # write?
+        st.integers(0, 400),              # arrival gap (bursts and idle)
+    ),
+    min_size=1, max_size=120,
+)
+
+_CONFIGS = {
+    "ddr4-open": DRAMConfig(channels=1),
+    "ddr4-closed": DRAMConfig(channels=1, page_policy="closed"),
+    "ddr4-2rank": DRAMConfig(channels=1, ranks=2),
+    "ddr4-fcfs": DRAMConfig(channels=1, scheduler="fcfs"),
+    "ddr4-tiny-buffer": DRAMConfig(channels=1, request_buffer=4),
+    "ddr4-no-refresh": DRAMConfig(channels=1, refresh=False),
+    "ddr5-closed": replace(ddr5_6400(), channels=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_CONFIGS))
+@settings(max_examples=40, deadline=None)
+@given(program=_program)
+def test_batched_matches_scalar_randomized(name, program):
+    _assert_equivalent(_CONFIGS[name], program)
+
+
+# ------------------------------------------------------ seeded long runs
+
+def _long_program(seed: int, n: int, max_gap: int):
+    import random
+    rng = random.Random(seed)
+    return [(rng.randrange(1 << 14), rng.random() < 0.4,
+             rng.randrange(max_gap)) for _ in range(n)]
+
+
+@pytest.mark.parametrize("ranks", [1, 2])
+def test_refresh_crossing_runs_agree(ranks):
+    """Sparse arrivals spanning several tREFI intervals: the dense bank
+    walk in the batched refresh catch-up must emit the same PRE/REF
+    commands, at the same cycles, as the oracle's sorted-dict walk."""
+    cfg = DRAMConfig(channels=1, ranks=ranks)
+    program = _long_program(seed=ranks, n=300, max_gap=600)
+    scalar, batched, slog, blog = _pair(cfg)
+    reqs_s, reqs_b = _requests(cfg, program)
+    for rs, rb in zip(reqs_s, reqs_b):
+        scalar.enqueue(rs)
+        batched.enqueue(rb)
+    scalar.drain()
+    batched.drain()
+    refs = [c for c in slog if c[0] == "REF"]
+    assert len(refs) >= ranks * 2, "program must actually cross tREFI"
+    assert slog == blog
+    assert scalar.time == batched.time
+    assert dict(scalar.stats.counters) == dict(batched.stats.counters)
+
+
+def test_incremental_service_interleaves_identically():
+    """service_one step by step (not drain) — the paths the core model and
+    the system's next-event drain actually take."""
+    cfg = DRAMConfig(channels=1)
+    scalar, batched, slog, blog = _pair(cfg)
+    reqs_s, reqs_b = _requests(cfg, _long_program(seed=7, n=80, max_gap=150))
+    for rs, rb in zip(reqs_s, reqs_b):
+        scalar.enqueue(rs)
+        batched.enqueue(rb)
+    while True:
+        a = scalar.service_one()
+        b = batched.service_one()
+        assert (a is None) == (b is None)
+        if a is None:
+            break
+        assert (a.addr, a.start, a.finish, a.row_hit) == \
+            (b.addr, b.start, b.finish, b.row_hit)
+        assert scalar.next_event() == batched.next_event()
+    assert slog == blog
+
+
+def test_dram_system_engine_knob_is_bitwise_equivalent():
+    """Two-channel DRAMSystem, engine='scalar' vs 'batched': per-channel
+    command logs and merged metrics agree exactly."""
+    program = _long_program(seed=11, n=400, max_gap=120)
+    logs: dict[str, list[list[tuple]]] = {}
+    stats: dict[str, dict] = {}
+    finishes: dict[str, int] = {}
+    for engine in ("scalar", "batched"):
+        cfg = DRAMConfig(channels=2, engine=engine)
+        system = DRAMSystem(cfg)
+        per_channel: list[list[tuple]] = [[] for _ in system.controllers]
+        for ch, ctrl in enumerate(system.controllers):
+            ctrl.command_observers.append(
+                lambda kind, cycle, bank, row, _log=per_channel[ch]:
+                _log.append((kind, cycle, bank, row)))
+        t = 0
+        for line_no, is_write, gap in program:
+            t += gap
+            system.access((line_no * 64) % cfg.capacity_bytes, is_write, t)
+        system.drain()
+        logs[engine] = per_channel
+        stats[engine] = dict(system.merged_stats().counters)
+        finishes[engine] = system.last_finish()
+    assert logs["scalar"] == logs["batched"]
+    assert stats["scalar"] == stats["batched"]
+    assert finishes["scalar"] == finishes["batched"]
+
+
+def test_batched_rejects_reference_schedulers():
+    cfg = DRAMConfig(channels=1, scheduler="ref-frfcfs")
+    with pytest.raises(ValueError):
+        BatchedController(0, cfg, AddressMapper(cfg))
+    # The system falls back to the oracle rather than failing.
+    system = DRAMSystem(DRAMConfig(channels=1, scheduler="ref-frfcfs",
+                                   engine="batched"))
+    assert isinstance(system.controllers[0], MemoryController)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        DRAMSystem(DRAMConfig(engine="vectorized"))
+
+
+# -------------------------------------------- auditor refresh mutations
+
+def _legal_prefix():
+    """A minimal legal stream: one ACT + RD on bank (0,0,0,0)."""
+    return [("ACT", 0, (0, 0, 0, 0), 5),
+            ("RD", T.tRCD, (0, 0, 0, 0), 5)]
+
+
+def test_auditor_flags_stream_with_refresh_omitted():
+    """A rank silently running past 9 x tREFI without a REF violates the
+    postponement window — the rule a refresh-dropping engine bug would
+    trip."""
+    log = _legal_prefix()
+    late = 9 * T.tREFI + T.tRCD + 100
+    log += [("PRE", late, (0, 0, 0, 0), 5),
+            ("ACT", late + T.tRP, (0, 0, 0, 0), 6)]
+    auditor = CommandAuditor(T).check_log(log)
+    assert any(v.rule == "tREFI-window" for v in auditor.violations)
+    # Same stream with a timely REF in the middle is clean.
+    fixed = _legal_prefix()
+    mid = T.tREFI
+    fixed += [("PRE", mid - T.tRP - 1, (0, 0, 0, 0), 5),
+              ("REF", mid, (0, 0, 0, 0), -1),
+              ("ACT", late + T.tRP, (0, 0, 0, 0), 6)]
+    assert CommandAuditor(T).check_log(fixed).ok
+
+
+def test_auditor_flags_ref_on_open_bank():
+    log = _legal_prefix()
+    log.append(("REF", T.tREFI, (0, 0, 0, 0), -1))   # row 5 still open
+    auditor = CommandAuditor(T).check_log(log)
+    assert any(v.rule == "ref-on-open-bank" for v in auditor.violations)
+
+
+def test_auditor_flags_act_inside_trfc():
+    log = [("REF", 1000, (0, 0, 0, 0), -1),
+           ("ACT", 1000 + T.tRFC - 1, (0, 0, 0, 0), 3)]
+    auditor = CommandAuditor(T).check_log(log)
+    assert any(v.rule == "tRFC" for v in auditor.violations)
+    clean = [("REF", 1000, (0, 0, 0, 0), -1),
+             ("ACT", 1000 + T.tRFC, (0, 0, 0, 0), 3)]
+    assert CommandAuditor(T).check_log(clean).ok
+
+
+def test_refresh_off_engines_emit_no_refs_and_still_agree():
+    cfg = DRAMConfig(channels=1, refresh=False)
+    scalar, batched, slog, blog = _pair(cfg)
+    reqs_s, reqs_b = _requests(cfg, _long_program(seed=3, n=200, max_gap=600))
+    for rs, rb in zip(reqs_s, reqs_b):
+        scalar.enqueue(rs)
+        batched.enqueue(rb)
+    scalar.drain()
+    batched.drain()
+    assert slog == blog
+    assert not any(c[0] == "REF" for c in slog)

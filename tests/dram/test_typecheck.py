@@ -2,8 +2,11 @@
 
 The Scheduler protocol's signatures are what keep the controller's
 indexed fast path honest (``insert``/``take`` vs the stateless ``pick``),
-so ``repro/dram`` is type-checked in CI.  Environments without mypy skip
-this test rather than fail — the CI job is the enforcement point.
+and the batched engine must keep presenting the scalar oracle's interface,
+so ``repro/dram`` plus the sweep executor (``repro/sim``) and the shared
+value types (``repro/common``) are type-checked in CI.  Environments
+without mypy skip this test rather than fail — the CI job is the
+enforcement point.
 """
 
 import shutil
@@ -25,10 +28,10 @@ def _have_mypy() -> bool:
 
 
 @pytest.mark.skipif(not _have_mypy(), reason="mypy not installed")
-def test_dram_package_typechecks():
+def test_checked_packages_typecheck():
     proc = subprocess.run(
         [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
-         "src/repro/dram"],
+         "src/repro/dram", "src/repro/sim", "src/repro/common"],
         cwd=REPO, capture_output=True, text=True,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr

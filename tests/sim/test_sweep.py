@@ -140,3 +140,66 @@ def test_diff_golden_flags_any_field_change():
 
     missing = {**snap, "GHOST": {}}
     assert any("GHOST" in p for p in diff_golden(snap, missing))
+
+
+# --------------------------------------------------------- cache hygiene
+
+def test_store_tmp_name_is_per_process_and_cleaned_up(tmp_path):
+    """Concurrent writers must not share a temp file: the staging name
+    embeds the pid, and nothing *.tmp survives a successful store."""
+    import os
+
+    task = _tasks(modes=("baseline",))[0]
+    outcome = run_sweep([task], jobs=1, cache=False)
+    store = RunCache(tmp_path)
+
+    seen = []
+    original = RunCache._path
+
+    def spy(self, key):
+        seen.extend(p.name for p in self.directory.glob("*.tmp"))
+        return original(self, key)
+
+    RunCache._path = spy
+    try:
+        store.store(task.key(), task, outcome.runs[0].result)
+    finally:
+        RunCache._path = original
+    assert any(f".{os.getpid()}.tmp" in name for name in seen)
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert asdict(store.load(task.key())) == asdict(outcome.runs[0].result)
+
+
+def test_prune_deletes_orphaned_tmp_files(tmp_path):
+    """A writer killed mid-store leaves <key>.<pid>.tmp behind; prune
+    sweeps those alongside stale-model entries."""
+    task = _tasks(modes=("baseline",))[0]
+    run_sweep([task], jobs=1, cache=True, cache_dir=tmp_path)
+    store = RunCache(tmp_path)
+    orphan = store.directory / f"{task.key()}.12345.tmp"
+    orphan.write_text('{"half": "written')
+    assert store.prune() == 1
+    assert not orphan.exists()
+    assert store.load(task.key()) is not None
+
+
+def test_default_jobs_prefers_scheduling_affinity(monkeypatch):
+    """Inside a container the affinity mask, not os.cpu_count(), bounds
+    usable parallelism; REPRO_JOBS still overrides everything."""
+    import os
+
+    from repro.sim.sweep import default_jobs
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2},
+                        raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    assert default_jobs() == 3
+
+    monkeypatch.setattr(os, "sched_getaffinity",
+                        lambda pid: (_ for _ in ()).throw(OSError()),
+                        raising=False)
+    assert default_jobs() == 64
+
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert default_jobs() == 7
