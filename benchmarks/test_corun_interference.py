@@ -23,25 +23,32 @@ FACTORIES = [
 
 
 def _sweep():
-    corun = run_corun(FACTORIES, SystemConfig.baseline_scaled())
+    config = SystemConfig.baseline_scaled()
+    corun = run_corun(FACTORIES, config, tenants=True)
+    legacy = run_corun(FACTORIES, config)
     dx = [run_dx100(f(), SystemConfig.dx100_scaled(), warm=False)
           for f in FACTORIES]
-    return corun, dx
+    return corun, legacy, dx
 
 
 def test_corun_interference(benchmark):
-    corun, dx = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    corun, legacy, dx = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     lines = [f"{'workload':8s} {'solo':>9s} {'co-run':>9s} "
-             f"{'slowdown':>9s} {'dx100':>9s}"]
+             f"{'slowdown':>9s} {'dx100':>9s} {'dram.serviced':>13s}"]
     for i, name in enumerate(corun.names):
         lines.append(
             f"{name:8s} {corun.solo_cycles[i]:9d} "
             f"{corun.corun_cycles[i]:9d} {corun.slowdown(i):8.2f}x "
-            f"{dx[i].cycles:9d}"
+            f"{dx[i].cycles:9d} {corun.tenant_dram[i]['serviced']:13d}"
         )
     record("corun_interference", lines)
+    # The tenant-tagged path reports exactly the legacy runner's numbers:
+    # tags feed per-workload DRAM attribution, never scheduling.
+    assert corun.solo_cycles == legacy.solo_cycles
+    assert corun.corun_cycles == legacy.corun_cycles
     # Both workloads suffer (or at best break even) when sharing the
     # memory system, and DX100 beats even the solo baselines.
     assert all(corun.slowdown(i) > 0.95 for i in range(2))
     for i in range(2):
         assert dx[i].cycles < corun.corun_cycles[i]
+        assert corun.tenant_dram[i]["serviced"] > 0

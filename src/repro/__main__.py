@@ -9,6 +9,8 @@ Usage::
     python -m repro sweep --update-golden     # refresh golden metrics
     python -m repro run IS --quick --trace results/trace.json
     python -m repro timeline IS --quick       # ASCII observability timeline
+    python -m repro serve --tenants 2 --aggressor 1   # multi-tenant QoS
+    python -m repro serve --check-golden      # pinned tenancy scenarios
     python -m repro area                      # Table 4
 
 Each run prints a comparison table; ``--csv`` additionally writes the raw
@@ -151,6 +153,40 @@ def _parser() -> argparse.ArgumentParser:
                       help="hotspot functions to report (default: 25)")
     prof.add_argument("--json", metavar="PATH",
                       help="also write the structured report as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant QoS serving layer: N closed-loop "
+             "tenant streams over one shared DRAM system, with token-"
+             "bucket admission, fair scheduling, and partitioned Row "
+             "Table / request buffers; prints per-tenant p50/p99 latency, "
+             "throughput, and the Jain fairness index",
+    )
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="concurrent tenant streams (default: 2)")
+    serve.add_argument("--tiles", type=int, default=4,
+                       help="tiles per tenant (default: 4)")
+    serve.add_argument("--tile-lines", type=int, default=96,
+                       help="lines per tile (default: 96)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--aggressor", type=int, default=-1, metavar="T",
+                       help="mark tenant index T as an interference "
+                            "generator (4x token refill; -1 = none)")
+    serve.add_argument("--no-borrow", action="store_true",
+                       help="disable work-conserving borrow (hard "
+                            "partitioning only)")
+    serve.add_argument("--engine", choices=["batched", "scalar"],
+                       default="batched",
+                       help="DRAM engine (scalar = the oracle replay)")
+    serve.add_argument("--no-check", action="store_true",
+                       help="skip the per-tile QoS invariant checks")
+    serve.add_argument("--update-golden", action="store_true",
+                       help="re-run the canonical tenancy scenarios and "
+                            "rewrite tests/golden/tenancy_quick.json")
+    serve.add_argument("--check-golden", action="store_true",
+                       help="diff the canonical tenancy scenarios against "
+                            "tests/golden/tenancy_quick.json; exit 1 on "
+                            "any mismatch")
 
     sub.add_parser("area", help="print the Table 4 area/power breakdown")
     return parser
@@ -377,6 +413,58 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant serving layer (or its golden harness)."""
+    from repro.common.config import DRAMConfig
+    from repro.serve import make_tenants, serve_run, tenancy_scenarios
+    from repro.serve.golden import (
+        TENANCY_GOLDEN_PATH, diff_tenancy_golden, load_tenancy_golden,
+        tenancy_snapshot, write_tenancy_golden,
+    )
+
+    if args.update_golden or args.check_golden:
+        scenarios = tenancy_scenarios(engine=args.engine)
+        if args.update_golden:
+            path = write_tenancy_golden(scenarios)
+            print(f"tenancy golden metrics updated: {path}")
+            return 0
+        try:
+            golden = load_tenancy_golden()
+        except FileNotFoundError:
+            print(f"no tenancy golden file at {TENANCY_GOLDEN_PATH}; run "
+                  f"`python -m repro serve --update-golden`",
+                  file=sys.stderr)
+            return 1
+        snapshot = tenancy_snapshot(scenarios)
+        if args.engine != "batched":
+            # The golden file is pinned under the batched engine; the
+            # scalar replay must match it everywhere but the engine label.
+            for entry in snapshot.values():
+                entry["engine"] = "batched"
+        problems = diff_tenancy_golden(snapshot, golden)
+        if problems:
+            print(f"tenancy golden check FAILED "
+                  f"({len(problems)} mismatch(es)):", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"tenancy golden check passed (bitwise identical, "
+              f"engine={args.engine})")
+        return 0
+
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+    specs = make_tenants(args.tenants, tiles=args.tiles,
+                         tile_lines=args.tile_lines, seed=args.seed,
+                         aggressor=args.aggressor)
+    config = replace(DRAMConfig(), engine=args.engine)
+    report = serve_run(specs, config=config, borrow=not args.no_borrow,
+                       check=not args.no_check)
+    print(report.render())
+    return 0
+
+
 def cmd_area() -> int:
     """Print the Table 4 area/power breakdown."""
     report = area_power()
@@ -403,6 +491,8 @@ def main(argv=None) -> int:
         return cmd_profile(args)
     if args.command == "timeline":
         return cmd_timeline(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "area":
         return cmd_area()
     return 2

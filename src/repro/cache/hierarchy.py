@@ -76,6 +76,11 @@ class MemoryHierarchy:
         self._spd_regions: list[tuple[int, int, int]] = []  # (lo, hi, latency)
         # Demand-access observers (the DMP engine registers one).
         self.observers: list = []
+        # Owning tenant per core (-1 = untagged).  Consulted on every demand
+        # access so the serving layer (:mod:`repro.serve`) and the tenant
+        # co-run path can attribute DRAM traffic without touching the core
+        # model; tags never change scheduling.
+        self.core_tenant: list[int] = [-1] * config.cores
         # Observability bus (:class:`repro.obs.events.EventBus`); None when
         # observability is off, so the hot paths pay one branch only.
         self.obs = None
@@ -129,7 +134,8 @@ class MemoryHierarchy:
         """A demand access from ``core`` at cycle ``t``."""
         line = self.llc.line_addr(addr)
         self.stats.counters["l1_accesses"] += 1
-        result = self._access_line(core, line, is_write, t)
+        result = self._access_line(core, line, is_write, t,
+                                   self.core_tenant[core])
         prefetcher = self.l1_pf[core]
         if prefetch and prefetcher is not None:
             for pf_line in prefetcher.observe(pc, addr):
@@ -167,7 +173,7 @@ class MemoryHierarchy:
         self.stats.add("dmp_prefetch_issued")
 
     def _access_line(self, core: int, line: int, is_write: bool,
-                     t: int) -> AccessResult:
+                     t: int, tenant: int = -1) -> AccessResult:
         # L1: coalesce onto outstanding fills (resolved ones release
         # lazily inside lookup), then tag probe.
         mshr = self.l1_mshr[core]
@@ -187,7 +193,7 @@ class MemoryHierarchy:
 
         t_l2 = t + self._l1_latency
         counters["l2_accesses"] += 1
-        result = self._access_l2(core, line, is_write, t_l2)
+        result = self._access_l2(core, line, is_write, t_l2, tenant)
         self._fill(l1, line, is_write)
         if result.complete >= 0:
             l1_entry.ready = result.complete
@@ -196,7 +202,7 @@ class MemoryHierarchy:
         return result
 
     def _access_l2(self, core: int, line: int, is_write: bool,
-                   t: int) -> AccessResult:
+                   t: int, tenant: int = -1) -> AccessResult:
         mshr = self.l2_mshr[core]
         pending = mshr.lookup(line)
         if pending is not None:
@@ -214,7 +220,7 @@ class MemoryHierarchy:
 
         t_llc = t + self._l2_latency
         counters["llc_accesses"] += 1
-        result = self._access_llc(line, is_write, t_llc)
+        result = self._access_llc(line, is_write, t_llc, tenant=tenant)
         self._fill(l2, line, is_write)
         if result.complete >= 0:
             l2_entry.ready = result.complete
@@ -228,7 +234,8 @@ class MemoryHierarchy:
         return result
 
     def _access_llc(self, line: int, is_write: bool, t: int,
-                    decoded: tuple | None = None) -> AccessResult:
+                    decoded: tuple | None = None,
+                    tenant: int = -1) -> AccessResult:
         mshr = self.llc_mshr
         pending = mshr.lookup(line)
         if pending is not None:
@@ -258,7 +265,7 @@ class MemoryHierarchy:
         entry = mshr.allocate(line, t)
         req = self.dram.access(line, is_write=False,
                                arrival=t + self._llc_latency,
-                               decoded=decoded)
+                               decoded=decoded, tenant=tenant)
         entry.request = req
         self._fill(llc, line, is_write, to_dram=True)
         return AccessResult(HitLevel.DRAM, issue=t, request=req,
@@ -311,7 +318,8 @@ class MemoryHierarchy:
     # --------------------------------------------------------------- DX100 side
 
     def llc_access(self, addr: int, is_write: bool, t: int,
-                   decoded: tuple | None = None) -> AccessResult:
+                   decoded: tuple | None = None,
+                   tenant: int = -1) -> AccessResult:
         """Direct LLC access (DX100's Cache Interface for streaming).
 
         ``decoded`` is an optional pre-decoded ``(channel, rank, bankgroup,
@@ -322,7 +330,7 @@ class MemoryHierarchy:
         """
         line = self.llc.line_addr(addr)
         self.stats.add("llc_accesses")
-        return self._access_llc(line, is_write, t, decoded)
+        return self._access_llc(line, is_write, t, decoded, tenant)
 
     def snoop(self, addr: int) -> bool:
         """Directory snoop: is the line cached anywhere? (DX100 H bit)."""

@@ -134,6 +134,11 @@ class DRAMRequest:
     # Owning channel, stamped at system enqueue (-1 = not yet routed);
     # lets completion find its controller without re-decoding the address.
     channel: int = -1
+    # Submitting tenant (-1 = untagged).  The tag never influences
+    # scheduling — both engines treat tagged and untagged requests
+    # identically — it only feeds per-tenant accounting in the serving
+    # layer (:mod:`repro.serve`) and the controllers' tenant counters.
+    tenant: int = -1
     # Results, filled by the controller.
     start: int = -1
     finish: int = -1

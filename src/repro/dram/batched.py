@@ -627,6 +627,13 @@ class BatchedController:
             self.time = t_col
         counters["serviced"] += 1
         counters["bytes"] += self._line_bytes
+        tenant = req.tenant
+        if tenant >= 0:
+            # Per-tenant accounting, mirroring the scalar oracle exactly.
+            counters[f"tenant{tenant}_serviced"] += 1
+            counters[f"tenant{tenant}_bytes"] += self._line_bytes
+            if req.row_hit:
+                counters[f"tenant{tenant}_row_hits"] += 1
         mins = stats.mins
         cur = mins.get("first_arrival")
         if cur is None or arrival < cur:

@@ -370,6 +370,14 @@ class MemoryController:
             self.time = t_col
         counters["serviced"] += 1
         counters["bytes"] += self._line_bytes
+        tenant = req.tenant
+        if tenant >= 0:
+            # Per-tenant accounting (serving layer).  Tags never alter the
+            # schedule above, only these counters.
+            counters[f"tenant{tenant}_serviced"] += 1
+            counters[f"tenant{tenant}_bytes"] += self._line_bytes
+            if req.row_hit:
+                counters[f"tenant{tenant}_row_hits"] += 1
         stats = self.stats
         mins = stats.mins
         cur = mins.get("first_arrival")

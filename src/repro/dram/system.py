@@ -76,16 +76,18 @@ class DRAMSystem:
         return ctrl
 
     def access(self, addr: int, is_write: bool, arrival: int,
-               meta: object = None, decoded: tuple | None = None
-               ) -> DRAMRequest:
+               meta: object = None, decoded: tuple | None = None,
+               tenant: int = -1) -> DRAMRequest:
         """Convenience: enqueue a line request and return its record.
 
         ``decoded`` is an optional pre-decoded ``(channel, rank, bankgroup,
         bank, row)`` tuple — callers that decoded a whole tile through
         :meth:`AddressMapper.map_arrays` pass it to skip the per-line map.
+        ``tenant`` tags the request for per-tenant accounting (-1 =
+        untagged); the tag never changes how the request is scheduled.
         """
         req = DRAMRequest(addr=addr, is_write=is_write, arrival=arrival,
-                          meta=meta)
+                          meta=meta, tenant=tenant)
         if decoded is None:
             coord = self.mapper.map(addr)
             req.channel = coord.channel
@@ -147,6 +149,19 @@ class DRAMSystem:
         for ctrl in self.controllers:
             stats.merge(ctrl.stats)
         return stats
+
+    def tenant_counters(self, tenant: int) -> dict[str, int]:
+        """Summed per-tenant counters across channels.
+
+        Returns ``{"serviced": ..., "bytes": ..., "row_hits": ...}`` for the
+        given tenant id (all zero if it issued no tagged traffic).
+        """
+        out = {"serviced": 0, "bytes": 0, "row_hits": 0}
+        for ctrl in self.controllers:
+            counters = ctrl.stats.counters
+            for key in out:
+                out[key] += int(counters.get(f"tenant{tenant}_{key}", 0))
+        return out
 
     def row_buffer_hit_rate(self) -> float:
         serviced = sum(c.stats.get("serviced") for c in self.controllers)

@@ -76,6 +76,9 @@ class IndirectUnit:
         self.obs = None
         self.mapper = dram.mapper
         self.line_bytes = hierarchy.line
+        # Owning tenant (-1 = untagged); stamped on every issued line for
+        # per-tenant accounting, never consulted by the schedulers.
+        self.tenant = -1
 
     # ----------------------------------------------------------------- fill
 
@@ -173,7 +176,8 @@ class IndirectUnit:
                 # Write the modified line back through the DRAM interface.
                 wr = self.dram.access(pline.line_addr, is_write=True,
                                       arrival=completion + 1,
-                                      decoded=pline.coord + (pline.row,))
+                                      decoded=pline.coord + (pline.row,),
+                                      tenant=self.tenant)
                 wb_lines += 1
                 if wb_lo < 0 or wr.arrival < wb_lo:
                     wb_lo = wr.arrival
@@ -235,10 +239,12 @@ class IndirectUnit:
             decoded = pline.coord + (pline.row,)
             if pline.h_bit:
                 access = self.hierarchy.llc_access(
-                    pline.line_addr, is_write, arrival, decoded=decoded)
+                    pline.line_addr, is_write, arrival, decoded=decoded,
+                    tenant=self.tenant)
             else:
                 req = self.dram.access(pline.line_addr, is_write=False,
-                                       arrival=arrival, decoded=decoded)
+                                       arrival=arrival, decoded=decoded,
+                                       tenant=self.tenant)
                 access = _DirectAccess(req)
             out.append((pline, access))
         if obs is not None and out:

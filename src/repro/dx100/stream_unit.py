@@ -52,6 +52,9 @@ class StreamUnit:
         self.tlb = tlb
         self.stats = stats if stats is not None else Stats()
         self.line_bytes = hierarchy.line
+        # Owning tenant (-1 = untagged); stamped on every issued line for
+        # per-tenant accounting, never consulted by the schedulers.
+        self.tenant = -1
 
     # --------------------------------------------------------------- common
 
@@ -91,7 +94,8 @@ class StreamUnit:
                 arrival = max(arrival,
                               int(avail[0] + j * elems_per_line / avail[1]))
             res = self.hierarchy.llc_access(int(line), is_write, arrival,
-                                            decoded=decoded[j])
+                                            decoded=decoded[j],
+                                            tenant=self.tenant)
             results.append(res)
             t += 1
         completions = [r.resolve(self.dram) for r in results]

@@ -1,0 +1,26 @@
+"""DX100-as-a-service: the multi-tenant QoS serving layer.
+
+Admission (token buckets), fairness (deficit round-robin with DRAM
+starvation escalation), and isolation (per-tenant Row Table / request
+buffer partitioning with hard quotas and work-conserving borrow), with
+machine-checked invariants throughout.  See ``docs/MODEL.md`` and the
+"Tenancy sweep" section of ``EXPERIMENTS.md``.
+"""
+
+from repro.serve.admission import (AdmissionController, QoSViolation,
+                                   TokenBucket, check_admission_order,
+                                   check_buckets, compliant_delay_bound)
+from repro.serve.partition import (BufferLedger, PartitionedRowTable,
+                                   check_partition)
+from repro.serve.scheduler import FairScheduler
+from repro.serve.service import (ServeReport, TenantReport, serve_run,
+                                 tenancy_scenarios)
+from repro.serve.tenant import TenantSpec, jain_index, make_tenants, percentile
+
+__all__ = [
+    "AdmissionController", "BufferLedger", "FairScheduler",
+    "PartitionedRowTable", "QoSViolation", "ServeReport", "TenantReport",
+    "TenantSpec", "TokenBucket", "check_admission_order", "check_buckets",
+    "check_partition", "compliant_delay_bound", "jain_index", "make_tenants",
+    "percentile", "serve_run", "tenancy_scenarios",
+]

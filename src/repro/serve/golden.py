@@ -1,0 +1,79 @@
+"""Golden pinning for the tenancy scenarios (tests/golden/tenancy_quick.json).
+
+Mirrors the quick-suite golden harness in :mod:`repro.sim.sweep`: the
+canonical scenario grid is re-run and exact-compared field by field, so
+fairness metrics and per-tenant SLOs cannot drift silently.  Regenerate
+with ``python -m repro serve --update-golden`` after an intentional model
+change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.serve.service import ServeReport
+
+TENANCY_GOLDEN_PATH = Path(__file__).resolve().parents[3] / "tests" / \
+    "golden" / "tenancy_quick.json"
+
+
+def tenancy_snapshot(scenarios: dict[str, ServeReport]) -> dict:
+    """scenario name -> golden digest (exact-comparable JSON)."""
+    return {name: report.golden_snapshot()
+            for name, report in scenarios.items()}
+
+
+def diff_tenancy_golden(snapshot: dict, golden: dict) -> list[str]:
+    """Exact scenario-by-scenario diff; empty list = bitwise identical."""
+    problems: list[str] = []
+    for name in sorted(set(golden) | set(snapshot)):
+        if name not in snapshot:
+            problems.append(f"{name}: missing from this run")
+            continue
+        if name not in golden:
+            problems.append(f"{name}: not in the golden file "
+                            f"(run serve --update-golden)")
+            continue
+        got, want = snapshot[name], golden[name]
+        for key in sorted(set(got) | set(want)):
+            if key == "tenants":
+                continue
+            if got.get(key) != want.get(key):
+                problems.append(f"{name}.{key}: got {got.get(key)!r}, "
+                                f"golden {want.get(key)!r}")
+        got_t = got.get("tenants", {})
+        want_t = want.get("tenants", {})
+        for tenant in sorted(set(got_t) | set(want_t)):
+            gt, wt = got_t.get(tenant), want_t.get(tenant)
+            if gt is None or wt is None:
+                problems.append(f"{name}.tenants[{tenant}]: present in "
+                                f"only one side")
+                continue
+            for key in sorted(set(gt) | set(wt)):
+                if gt.get(key) != wt.get(key):
+                    problems.append(
+                        f"{name}.tenants[{tenant}].{key}: got "
+                        f"{gt.get(key)!r}, golden {wt.get(key)!r}")
+    return problems
+
+
+def write_tenancy_golden(scenarios: dict[str, ServeReport],
+                         path: str | Path | None = None) -> Path:
+    """Pin the scenario snapshots to the golden JSON file; returns it."""
+    path = Path(path or TENANCY_GOLDEN_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_comment": "Golden per-tenant QoS metrics for the canonical "
+                    "tenancy scenarios (repro.serve.tenancy_scenarios). "
+                    "Regenerate with `python -m repro serve "
+                    "--update-golden` after an intentional model change.",
+        "scenarios": tenancy_snapshot(scenarios),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_tenancy_golden(path: str | Path | None = None) -> dict:
+    raw = json.loads(Path(path or TENANCY_GOLDEN_PATH).read_text())
+    return raw["scenarios"]

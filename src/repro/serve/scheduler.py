@@ -1,0 +1,97 @@
+"""Fairness-aware tile scheduler for the serving frontend.
+
+Deficit round-robin over per-tenant queues of *admitted* tiles: every
+scheduling round each backlogged tenant earns one quantum of credit, and
+the pick goes to the eligible tenant with the most credit (ties break by
+tenant id, keeping runs deterministic).  A tenant that was passed over —
+its tile not yet ready, or it lost the credit comparison — keeps its
+deficit, so sustained service imbalance is self-correcting.
+
+The shim also *consumes* the DRAM schedulers' starvation-escalation
+events: every FR-FCFS age-cap override published on the observability bus
+(``EventBus.starvations``, PR 5/6) grants one escalated pick to the
+least-served backlogged tenant.  DRAM-level starvation pressure thereby
+feeds back into frontend ordering instead of being a log line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class _TenantQueue:
+    deficit: float = 0.0
+    served: int = 0            # tiles served (for least-served escalation)
+    items: list[tuple[int, Any]] = field(default_factory=list)  # (ready, x)
+
+    def ready_head(self, now: int) -> bool:
+        return bool(self.items) and self.items[0][0] <= now
+
+    def next_ready(self) -> int | None:
+        return self.items[0][0] if self.items else None
+
+
+class FairScheduler:
+    """Deficit round-robin with starvation escalation."""
+
+    def __init__(self, tenants: list[int], quantum: float = 1.0,
+                 bus: Any | None = None) -> None:
+        self.quantum = float(quantum)
+        self.queues: dict[int, _TenantQueue] = {
+            t: _TenantQueue() for t in tenants
+        }
+        self.bus = bus
+        self._starv_cursor = 0      # bus.starvations consumed so far
+        self.escalated_picks = 0
+
+    def push(self, tenant: int, ready: int, item: Any) -> None:
+        """Queue one admitted tile, orderable from cycle ``ready``."""
+        queue = self.queues[tenant]
+        queue.items.append((ready, item))
+        queue.items.sort(key=lambda pair: pair[0])
+
+    def pending(self) -> int:
+        return sum(len(q.items) for q in self.queues.values())
+
+    def next_ready(self) -> int | None:
+        """Earliest cycle at which any queued tile becomes eligible."""
+        heads = [q.next_ready() for q in self.queues.values()]
+        ready = [h for h in heads if h is not None]
+        return min(ready) if ready else None
+
+    def _consume_starvations(self) -> int:
+        """New age-cap overrides on the bus since the last pick."""
+        if self.bus is None:
+            return 0
+        fresh = len(self.bus.starvations) - self._starv_cursor
+        self._starv_cursor = len(self.bus.starvations)
+        return fresh
+
+    def pick(self, now: int) -> tuple[int, Any] | None:
+        """Pop the next tile to serve at ``now`` (None if nothing ready)."""
+        eligible = [t for t, q in self.queues.items() if q.ready_head(now)]
+        if not eligible:
+            return None
+        backlogged = [t for t, q in self.queues.items() if q.items]
+        for tenant in backlogged:
+            self.queues[tenant].deficit += self.quantum
+        if self._consume_starvations() > 0:
+            # Escalation: service pressure at the DRAM level promotes the
+            # least-served eligible tenant ahead of the credit order.
+            choice = min(eligible,
+                         key=lambda t: (self.queues[t].served, t))
+            self.escalated_picks += 1
+        else:
+            choice = max(eligible,
+                         key=lambda t: (self.queues[t].deficit, -t))
+        queue = self.queues[choice]
+        ready, item = queue.items.pop(0)
+        queue.deficit = max(0.0, queue.deficit - self.quantum
+                            * max(1, len(self.queues)))
+        queue.served += 1
+        return choice, item
+
+    def service_counts(self) -> dict[int, int]:
+        return {t: q.served for t, q in self.queues.items()}

@@ -1,0 +1,134 @@
+"""Tenant descriptions and fairness/SLO arithmetic for the serving layer.
+
+A *tenant* is one client stream submitting tile requests to a shared DX100
+deployment.  Each tenant owns a private address region (so isolation is
+checkable structurally), a token-bucket admission contract, and a
+deterministic per-tenant workload seed — two serve runs with the same specs
+are bitwise identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.config import CACHE_LINE
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One client stream's contract with the serving layer.
+
+    ``refill_rate`` / ``burst`` parameterize the admission token bucket
+    (tokens are spent one per requested line).  ``hot_fraction`` skews the
+    generated indirect accesses: that fraction of lines is drawn from the
+    first ``hot_lines`` of the region, modelling the power-law index
+    distributions real tenants generate (PAPERS.md, SpMV near-memory
+    indexing).
+    """
+
+    tenant_id: int
+    tiles: int                  # tiles this tenant submits (closed loop)
+    tile_lines: int             # lines requested per tile
+    region_lo: int              # private physical region [lo, hi)
+    region_hi: int
+    refill_rate: float = 0.25   # admission tokens (lines) per cycle
+    burst: float = 256.0        # bucket capacity, in lines
+    hot_fraction: float = 0.5   # fraction of lines drawn from the hot set
+    hot_lines: int = 64         # size of the hot set, in lines
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tenant_id < 0:
+            raise ValueError("tenant_id must be >= 0 (-1 means untagged)")
+        if self.region_hi <= self.region_lo:
+            raise ValueError("empty tenant region")
+        if self.refill_rate <= 0:
+            raise ValueError("refill_rate must be positive")
+        if self.burst < self.tile_lines:
+            raise ValueError(
+                "burst smaller than one tile can never admit a tile")
+
+    def generate_tiles(self, line_bytes: int = CACHE_LINE) -> list[np.ndarray]:
+        """Deterministic per-tile line-address arrays inside the region."""
+        rng = np.random.RandomState(0xD100 + self.seed
+                                    + 7919 * self.tenant_id)
+        lines_in_region = max(1, (self.region_hi - self.region_lo)
+                              // line_bytes)
+        hot = min(self.hot_lines, lines_in_region)
+        tiles: list[np.ndarray] = []
+        for _ in range(self.tiles):
+            n_hot = int(round(self.tile_lines * self.hot_fraction))
+            picks_hot = rng.randint(0, hot, size=n_hot)
+            picks_cold = rng.randint(0, lines_in_region,
+                                     size=self.tile_lines - n_hot)
+            picks = np.concatenate([picks_hot, picks_cold])
+            rng.shuffle(picks)
+            tiles.append(self.region_lo
+                         + picks.astype(np.int64) * line_bytes)
+        return tiles
+
+
+def make_tenants(count: int, tiles: int = 4, tile_lines: int = 128,
+                 region_bytes: int = 1 << 22, seed: int = 0,
+                 refill_rate: float = 0.25, burst: float = 512.0,
+                 aggressor: int = -1,
+                 aggressor_boost: float = 4.0) -> list[TenantSpec]:
+    """Build ``count`` tenants over disjoint regions.
+
+    ``aggressor`` (an index, -1 = none) marks one tenant as an interference
+    generator: its token refill is ``aggressor_boost`` times everyone
+    else's, and its accesses lose all hot-set locality
+    (``hot_fraction=0``) — a uniform-random flood over its whole region
+    that keeps rows churning in the shared banks, the co-run contention
+    pattern the paper's Section 1 motivates.
+    """
+    if count < 1:
+        raise ValueError("need at least one tenant")
+    specs = []
+    for t in range(count):
+        flood = t == aggressor
+        rate = refill_rate * (aggressor_boost if flood else 1.0)
+        specs.append(TenantSpec(
+            tenant_id=t, tiles=tiles, tile_lines=tile_lines,
+            region_lo=t * region_bytes, region_hi=(t + 1) * region_bytes,
+            refill_rate=rate, burst=max(burst, float(tile_lines)),
+            hot_fraction=0.0 if flood else 0.5,
+            seed=seed,
+        ))
+    return specs
+
+
+# ------------------------------------------------------------- SLO metrics
+
+def percentile(samples: list[int], p: float) -> int:
+    """Nearest-rank percentile of integer latency samples (0 if empty).
+
+    Nearest-rank (not interpolated) so pinned golden values stay integral
+    and engine-independent.
+    """
+    if not samples:
+        return 0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile out of range")
+    ordered = sorted(samples)
+    rank = max(1, int(np.ceil(p / 100.0 * len(ordered))))
+    return int(ordered[rank - 1])
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly equal allocations; 1/n means one tenant got
+    everything.  Defined as 1.0 for empty or all-zero inputs.
+    """
+    if not values:
+        return 1.0
+    if any(v < 0 for v in values):
+        raise ValueError("fairness over negative allocations is undefined")
+    total = float(sum(values))
+    if total == 0.0:
+        return 1.0
+    squares = float(sum(v * v for v in values))
+    return total * total / (len(values) * squares)

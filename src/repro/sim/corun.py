@@ -48,20 +48,34 @@ class NamespacedMemory:
 
 @dataclass
 class CorunResult:
-    """Per-workload cycles when co-running vs. running solo."""
+    """Per-workload cycles when co-running vs. running solo.
+
+    ``tenant_dram`` (tenant-tagged co-runs only) holds each workload's
+    own DRAM traffic — ``{"serviced", "bytes", "row_hits"}`` — attributed
+    through the per-tenant request tags rather than inferred from totals.
+    """
 
     names: list[str]
     solo_cycles: list[int]
     corun_cycles: list[int]
     corun_finish: int
+    tenant_dram: list[dict] | None = None
 
     def slowdown(self, i: int) -> float:
         return self.corun_cycles[i] / self.solo_cycles[i]
 
 
-def run_corun(factories, config: SystemConfig | None = None) -> CorunResult:
+def run_corun(factories, config: SystemConfig | None = None,
+              tenants: bool = False) -> CorunResult:
     """Run each workload solo, then all of them concurrently on disjoint
-    core subsets of a single shared system."""
+    core subsets of a single shared system.
+
+    ``tenants=True`` routes the co-run through the tenant-tagged path:
+    workload ``k``'s cores are tagged as tenant ``k``, so the result can
+    attribute DRAM traffic per workload (``tenant_dram``).  Tags never
+    change scheduling, so cycles and slowdowns are identical either way —
+    ``tests/sim/test_corun.py`` asserts exactly that.
+    """
     config = config or SystemConfig.baseline_scaled()
     if len(factories) < 2:
         raise ValueError("co-running needs at least two workloads")
@@ -88,6 +102,8 @@ def run_corun(factories, config: SystemConfig | None = None) -> CorunResult:
         wl = factory()
         wl.generate(NamespacedMemory(system.hostmem, f"w{k}:"))
         workloads.append(wl)
+        if tenants:
+            system.set_tenant(k, cores=range(k * per, (k + 1) * per))
         for j, trace in enumerate(wl.baseline_traces(per)):
             all_traces[k * per + j] = trace
     finish = system.multicore.run(all_traces)
@@ -95,5 +111,11 @@ def run_corun(factories, config: SystemConfig | None = None) -> CorunResult:
     for k in range(len(factories)):
         cores = system.multicore.cores[k * per:(k + 1) * per]
         per_wl.append(max(core._finish for core in cores))
+    tenant_dram = None
+    if tenants:
+        system.dram.drain()
+        tenant_dram = [system.dram.tenant_counters(k)
+                       for k in range(len(factories))]
     return CorunResult(names=names, solo_cycles=solo,
-                       corun_cycles=per_wl, corun_finish=finish)
+                       corun_cycles=per_wl, corun_finish=finish,
+                       tenant_dram=tenant_dram)

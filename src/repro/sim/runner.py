@@ -32,7 +32,7 @@ ISSUE_INSTRS = 3  # three 64-bit memory-mapped stores per instruction
 def run_baseline(workload: Workload, config: SystemConfig | None = None,
                  warm: bool = True,
                  timers: StageTimers | None = None,
-                 obs=None) -> RunResult:
+                 obs=None, tenant: int = -1) -> RunResult:
     """Run a workload's legacy multicore code (optionally with DMP).
 
     ``timers`` (see :mod:`repro.sim.profile`) attributes wall-clock to the
@@ -40,10 +40,15 @@ def run_baseline(workload: Workload, config: SystemConfig | None = None,
     profiling harness; the default null timer adds no overhead.  ``obs``
     is an optional :class:`repro.obs.events.EventBus`; its summary lands
     in ``RunResult.extra`` (never in the golden metric fields).
+    ``tenant`` (>= 0) tags every DRAM request for per-tenant accounting;
+    the tag never changes scheduling, so a tagged run's metrics match the
+    untagged ones exactly (the serving layer's degeneracy guarantee).
     """
     timers = timers or NULL_TIMERS
     config = config or SystemConfig.baseline()
     system = SimSystem(config, obs=obs)
+    if tenant >= 0:
+        system.set_tenant(tenant)
     with timers.stage("generate"):
         workload.generate(system.hostmem)
     if warm and hasattr(workload, "warm_lines"):
@@ -106,7 +111,7 @@ def run_dx100(workload: Workload, config: SystemConfig | None = None,
               warm: bool = True, validate: bool = True,
               pipelined: bool = False,
               timers: StageTimers | None = None,
-              obs=None) -> RunResult:
+              obs=None, tenant: int = -1) -> RunResult:
     """Run the offloaded code: DX100 schedule + residual core work,
     synchronized through scratchpad ready bits, then validate.
 
@@ -115,12 +120,16 @@ def run_dx100(workload: Workload, config: SystemConfig | None = None,
     ``timers`` attributes wall-clock to the coarse stages (generate, warm,
     preload, schedule, validate, collect) for the profiling harness.
     ``obs`` is an optional :class:`repro.obs.events.EventBus`; its summary
-    lands in ``RunResult.extra`` (never in the golden metric fields)."""
+    lands in ``RunResult.extra`` (never in the golden metric fields).
+    ``tenant`` (>= 0) tags every DRAM request for per-tenant accounting
+    without altering scheduling (see :func:`run_baseline`)."""
     timers = timers or NULL_TIMERS
     config = config or SystemConfig.dx100_system()
     if config.dx100 is None:
         raise ValueError("run_dx100 needs a DX100 configuration")
     system = SimSystem(config, obs=obs)
+    if tenant >= 0:
+        system.set_tenant(tenant)
     dx = system.dx100
     with timers.stage("generate"):
         workload.generate(system.hostmem)

@@ -40,3 +40,71 @@ def test_quick_suite_matches_golden_metrics_exactly():
         "reproduced metrics drifted from tests/golden/quick_suite.json "
         "(intentional? `python -m repro sweep --update-golden`):\n  "
         + "\n  ".join(problems))
+
+
+# ------------------------------------------------------------ tenancy golden
+
+def test_tenancy_golden_file_is_committed_and_well_formed():
+    from repro.serve.golden import TENANCY_GOLDEN_PATH, load_tenancy_golden
+    assert TENANCY_GOLDEN_PATH.exists(), (
+        f"missing {TENANCY_GOLDEN_PATH}; run "
+        f"`python -m repro serve --update-golden`")
+    scenarios = load_tenancy_golden()
+    assert {"t1", "t2", "t2_aggressor", "t4"} <= set(scenarios)
+    for name, entry in scenarios.items():
+        assert entry["engine"] == "batched", name
+        assert entry["total_cycles"] > 0, name
+        assert 0.0 < entry["jain"] <= 1.0, name
+        for tenant, rec in entry["tenants"].items():
+            assert rec["p50"] <= rec["p99"], (name, tenant)
+            assert rec["dram_serviced"] == rec["lines"], (name, tenant)
+
+
+def test_tenancy_scenarios_match_golden_exactly():
+    from repro.serve import tenancy_scenarios
+    from repro.serve.golden import (
+        diff_tenancy_golden, load_tenancy_golden, tenancy_snapshot,
+    )
+    golden = load_tenancy_golden()
+    problems = diff_tenancy_golden(tenancy_snapshot(tenancy_scenarios()),
+                                   golden)
+    assert not problems, (
+        "tenancy QoS metrics drifted from tests/golden/tenancy_quick.json "
+        "(intentional? `python -m repro serve --update-golden`):\n  "
+        + "\n  ".join(problems))
+
+
+def test_single_tenant_serve_degenerates_to_untagged_run():
+    """tenants=1 must replay the untagged path cycle for cycle.
+
+    The only admissible difference is the per-tenant DRAM counters
+    themselves (absent when untagged); every latency, cycle count, and
+    fairness figure must be bitwise identical.
+    """
+    from repro.serve import make_tenants, serve_run
+    specs = make_tenants(1, tiles=3, tile_lines=96)
+    tagged = serve_run(specs, tag_requests=True).golden_snapshot()
+    untagged = serve_run(specs, tag_requests=False).golden_snapshot()
+    for snap in (tagged, untagged):
+        for rec in snap["tenants"].values():
+            for key in ("dram_serviced", "dram_bytes", "dram_row_hits"):
+                rec.pop(key)
+    assert tagged == untagged
+
+
+def test_tenant_tagged_quick_run_matches_pinned_golden():
+    """Threading tenant tags through SimSystem must not move any metric.
+
+    Runs one quick benchmark with every core and the DX100 instance
+    tagged as tenant 0 and compares the pinned RunResult fields against
+    the committed golden values for the untagged run.
+    """
+    from repro.sim.runner import run_dx100
+    from repro.sim.sweep import CONFIG_BUILDERS
+    from repro.workloads import QUICK_BENCHMARKS
+    golden = load_golden()
+    name = sorted(golden)[0]
+    result = run_dx100(QUICK_BENCHMARKS[name](), CONFIG_BUILDERS["dx100"](4),
+                       warm=False, tenant=0)
+    for fld in GOLDEN_FIELDS:
+        assert getattr(result, fld) == golden[name]["dx100"][fld], fld
