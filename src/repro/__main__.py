@@ -52,8 +52,10 @@ def _parser() -> argparse.ArgumentParser:
                      help="run all 12 benchmarks")
     run.add_argument("--quick", action="store_true",
                      help="use the reduced dataset sizes")
-    run.add_argument("--configs", nargs="+", default=["baseline", "dx100"],
-                     choices=sorted(CONFIG_BUILDERS))
+    run.add_argument("--configs", nargs="+", default=None,
+                     choices=sorted(CONFIG_BUILDERS),
+                     help="configurations to run (default: baseline dx100; "
+                          "--scale full defaults to dx100 alone)")
     run.add_argument("--cores", type=int, default=4)
     run.add_argument("--audit", action="store_true",
                      help="attach the JEDEC command-stream auditor to every "
@@ -71,6 +73,18 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--sample-every", type=int, default=0, metavar="N",
                      help="snapshot the timeline samplers every N cycles "
                           "(0 = off; --trace alone defaults to 1000)")
+    run.add_argument("--scale", choices=["main", "quick", "full"],
+                     default=None,
+                     help="dataset scale: main (default), quick (alias for "
+                          "--quick), or full — paper-sized footprints far "
+                          "past every cache (2^25-key IS etc.); full "
+                          "defaults to the dx100 configuration and writes "
+                          "results/full_scale.json")
+    run.add_argument("--frontend", choices=["batched", "scalar"],
+                     default=None,
+                     help="force the simulation front-end for every run "
+                          "(default: the config's front-end, i.e. batched; "
+                          "scalar replays the per-op cache/core oracle)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -116,6 +130,18 @@ def _parser() -> argparse.ArgumentParser:
                             "the config's engine, i.e. batched; --engine "
                             "scalar runs the oracle — combine with "
                             "--check-golden for a full differential check)")
+    sweep.add_argument("--frontend", choices=["batched", "scalar"],
+                       default=None,
+                       help="force the simulation front-end for every run "
+                            "(scalar replays the per-op cache/core oracle — "
+                            "combine with --check-golden for the front-end "
+                            "differential check)")
+    sweep.add_argument("--profile", action="store_true",
+                       help="after the timed sweep, re-run the grid once "
+                            "under cProfile and record per-component and "
+                            "pipeline-stage tottimes in "
+                            "BENCH_mainsweep.json (the recorded wall_s "
+                            "stays un-instrumented)")
 
     timeline = sub.add_parser(
         "timeline",
@@ -151,6 +177,10 @@ def _parser() -> argparse.ArgumentParser:
                       help="use the reduced dataset sizes")
     prof.add_argument("--top", type=int, default=25,
                       help="hotspot functions to report (default: 25)")
+    prof.add_argument("--frontend", choices=["batched", "scalar"],
+                      default=None,
+                      help="simulation front-end to profile (default: the "
+                           "config's front-end, i.e. batched)")
     prof.add_argument("--json", metavar="PATH",
                       help="also write the structured report as JSON")
 
@@ -202,31 +232,47 @@ def cmd_list() -> int:
 
 def cmd_run(args) -> int:
     """Run the selected benchmarks under the selected configurations."""
-    registry = QUICK_BENCHMARKS if args.quick else MAIN_BENCHMARKS
+    from repro.workloads import FULL_BENCHMARKS
+
+    scale = args.scale or ("quick" if args.quick else "main")
+    registry = {"main": MAIN_BENCHMARKS, "quick": QUICK_BENCHMARKS,
+                "full": FULL_BENCHMARKS}[scale]
+    configs = args.configs
+    if configs is None:
+        # The full-scale footprints are only tractable offloaded: the
+        # baseline's per-op trace would be tens of millions of ops.
+        configs = ["dx100"] if scale == "full" else ["baseline", "dx100"]
     names = list(registry) if args.all else args.benchmarks
+    if not names and scale == "full":
+        names = ["IS"]
     if not names:
         print("no benchmarks selected (name them or pass --all)",
               file=sys.stderr)
         return 2
     unknown = [n for n in names if n not in registry]
     if unknown:
-        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        print(f"unknown benchmarks: {', '.join(unknown)}"
+              + (f" (at --scale full only {', '.join(registry)} are sized)"
+                 if scale == "full" else ""),
+              file=sys.stderr)
         return 2
 
     sample_every = args.sample_every
     if args.trace and not sample_every:
         sample_every = 1000
-    multi = len(names) * len(args.configs) > 1
+    multi = len(names) * len(configs) > 1
 
     results: dict[str, dict] = {}
     flat = []
     for name in names:
         runs = {}
-        for config_name in args.configs:
+        for config_name in configs:
             config = CONFIG_BUILDERS[config_name](args.cores)
             if args.audit:
                 config = replace(config,
                                  dram=replace(config.dram, audit=True))
+            if args.frontend is not None:
+                config = replace(config, frontend=args.frontend)
             wl = registry[name]()
             obs = None
             if args.trace or sample_every:
@@ -260,7 +306,7 @@ def cmd_run(args) -> int:
         out_dir = Path(args.stats_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         for name in names:
-            config = CONFIG_BUILDERS[args.configs[0]](args.cores)
+            config = CONFIG_BUILDERS[configs[0]](args.cores)
             system = SimSystem(config)
             wl = registry[name]()
             wl.generate(system.hostmem)
@@ -268,6 +314,33 @@ def cmd_run(args) -> int:
             system.dram.drain()
             write_stats(system, out_dir / f"{name}.stats.txt")
     print(comparison_table(results))
+    if scale == "full":
+        # Record the paper-scale runs alongside the sweep artifacts so the
+        # EXPERIMENTS table can cite committed numbers.
+        import json
+        from pathlib import Path
+        out = Path("results/full_scale.json")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "scale": "full",
+            "frontend": args.frontend or "batched",
+            "runs": [
+                {
+                    "workload": r.workload,
+                    "config": r.config,
+                    "cycles": r.cycles,
+                    "instructions": r.instructions,
+                    "dram_bytes": r.dram_bytes,
+                    "dram_requests": r.dram_requests,
+                    "bandwidth_utilization": r.bandwidth_utilization,
+                    "row_buffer_hit_rate": r.row_buffer_hit_rate,
+                    "llc_mpki": r.llc_mpki,
+                }
+                for r in flat
+            ],
+        }
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nfull-scale metrics written to {out}")
     if args.csv:
         to_csv(flat, args.csv)
         print(f"\nraw metrics written to {args.csv}")
@@ -314,8 +387,18 @@ def cmd_sweep(args) -> int:
         quick=quick, benchmarks=benchmarks, modes=modes, jobs=args.jobs,
         cache=not args.no_cache, cache_dir=args.cache_dir,
         sample_every=0 if golden_mode else args.sample_every,
-        engine=args.engine,
+        engine=args.engine, frontend=args.frontend,
     )
+    if args.profile and not golden_mode:
+        # Instrumented second pass, strictly serial, AFTER the timed sweep
+        # so the recorded wall_s stays un-instrumented.
+        from repro.sim.profile import profile_tasks
+        from repro.sim.sweep import main_sweep_tasks
+        print("profiling pass (serial, instrumented)...", file=sys.stderr)
+        tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks,
+                                 modes=modes, engine=args.engine,
+                                 frontend=args.frontend)
+        outcome.extras.update(profile_tasks(tasks))
     write_sweep_records(outcome, Path("results"), sweep_json=args.json)
 
     print(comparison_table(outcome.nested()))
@@ -358,7 +441,8 @@ def cmd_profile(args) -> int:
 
     try:
         report = profile_run(benchmark=args.benchmark, mode=args.mode,
-                             quick=args.quick, top=args.top)
+                             quick=args.quick, top=args.top,
+                             frontend=args.frontend)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2

@@ -11,6 +11,7 @@ rather than being forced to service each miss as it is issued.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.config import SystemConfig
 from repro.common.stats import Stats
@@ -76,6 +77,11 @@ class MemoryHierarchy:
         self._spd_regions: list[tuple[int, int, int]] = []  # (lo, hi, latency)
         # Demand-access observers (the DMP engine registers one).
         self.observers: list = []
+        # Optional PC filter for the observers: when every observer is
+        # known to ignore accesses whose PC is not a key of this dict (or
+        # whose tag is negative), the batched walk skips the calls
+        # entirely.  ``None`` = no such guarantee, call observers always.
+        self.observer_pc_filter: dict | None = None
         # Owning tenant per core (-1 = untagged).  Consulted on every demand
         # access so the serving layer (:mod:`repro.serve`) and the tenant
         # co-run path can attribute DRAM traffic without touching the core
@@ -83,7 +89,7 @@ class MemoryHierarchy:
         self.core_tenant: list[int] = [-1] * config.cores
         # Observability bus (:class:`repro.obs.events.EventBus`); None when
         # observability is off, so the hot paths pay one branch only.
-        self.obs = None
+        self.obs: Any = None
         # Per-level latencies, hoisted off the config dataclasses for the
         # per-access walk.
         self._l1_latency = config.l1.latency
@@ -165,6 +171,7 @@ class MemoryHierarchy:
             self.stats.add("dmp_prefetch_dropped")
             return
         entry = self.llc_mshr.allocate(line, t)
+        entry.prefetch = True
         entry.request = self.dram.access(line, is_write=False,
                                          arrival=t + self.config.llc.latency)
         # The tag is installed now (pollution); demand accesses coalesce on
@@ -237,11 +244,19 @@ class MemoryHierarchy:
                     decoded: tuple | None = None,
                     tenant: int = -1) -> AccessResult:
         mshr = self.llc_mshr
-        pending = mshr.lookup(line)
+        counters = self.stats.counters
+        pending = mshr.lookup(line, now=t)
         if pending is not None:
+            if pending.prefetch:
+                # A demand racing an in-flight prefetch fill: the prefetch
+                # absorbed the demand miss, so charge exactly one miss and
+                # wait for the *actual* fill (no free hit).
+                pending.prefetch = False
+                counters["llc_misses"] += 1
+                if self.obs is not None:
+                    self.obs.llc_miss(t)
             return self._pending_result(pending, HitLevel.LLC,
                                         self._llc_latency, t)
-        counters = self.stats.counters
         llc = self.llc
         if llc.hit(line, is_write):
             counters["llc_hits"] += 1

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.stats import Stats
 from repro.common.types import DRAMRequest
@@ -24,6 +25,10 @@ class MSHREntry:
     request: DRAMRequest | None = None   # None when filled from a lower cache
     ready: int = -1                      # known completion, if already resolved
     waiters: int = 0
+    #: Allocated by a prefetch fill rather than a demand miss.  The first
+    #: demand that touches the line adjudicates the race (see ``lookup``):
+    #: a timely fill is a plain hit, an in-flight fill is *one* miss.
+    prefetch: bool = False
 
     def resolve(self, ready: int) -> None:
         self.ready = ready
@@ -43,7 +48,7 @@ class MSHRFile:
         self.name = name
         self.stats = stats if stats is not None else Stats()
         # Observability bus; None (one branch on allocate) unless attached.
-        self.obs = None
+        self.obs: Any = None
         self._entries: OrderedDict[int, MSHREntry] = OrderedDict()
         # Hot-path counter access: the counters dict is a defaultdict and
         # its identity is stable, so bump it directly with precomputed keys
@@ -59,17 +64,34 @@ class MSHRFile:
     def full(self) -> bool:
         return len(self._entries) >= self.capacity
 
-    def lookup(self, line_addr: int) -> MSHREntry | None:
+    def lookup(self, line_addr: int, now: int = -1) -> MSHREntry | None:
         """Return the outstanding entry for ``line_addr``, if any.
 
         Entries are released *lazily*: a resolved entry (fill completed)
         encountered here is dropped and reported absent, exactly as if it
         had been pruned eagerly at the start of the access — so callers
         never need a full :meth:`release_resolved` sweep on the hot path.
+
+        Prefetch entries are the exception: their fill was speculative, so
+        a resolved entry is released only when the fill landed at or before
+        ``now`` (the demand's arrival) — a *timely* prefetch the demand
+        simply hits.  A fill still in flight (or landing after ``now``) is
+        returned with ``prefetch`` still set so the caller can charge the
+        demand miss the prefetch merely absorbed.
         """
         entry = self._entries.get(line_addr)
         if entry is None:
             return None
+        if entry.prefetch:
+            ready = entry.ready
+            if ready < 0 and entry.request is not None:
+                ready = entry.request.finish
+            if 0 <= ready <= now:
+                del self._entries[line_addr]
+                return None
+            entry.waiters += 1
+            self._counters[self._key_coalesced] += 1.0
+            return entry
         if entry.ready >= 0 or (entry.request is not None
                                 and entry.request.finish >= 0):
             del self._entries[line_addr]

@@ -229,6 +229,12 @@ class SystemConfig:
     dx100: DX100Config | None = None
     dx100_instances: int = 1
     dmp: bool = False
+    #: Simulation front-end: ``"batched"`` (fused cache-walk/tile kernels and
+    #: an event-skip multicore loop — the production front-end) or
+    #: ``"scalar"`` (the per-access oracle the differential tests compare
+    #: against).  Mirrors ``DRAMConfig.engine``; both front-ends produce
+    #: bitwise-identical metrics and DRAM command streams.
+    frontend: str = "batched"
 
     @staticmethod
     def baseline(cores: int = 4) -> "SystemConfig":

@@ -22,6 +22,10 @@ from repro.dram.system import DRAMSystem
 class Multicore:
     """A pool of :class:`CoreModel` sharing one memory system."""
 
+    #: Core model class; the batched front-end substitutes its fused
+    #: subclass here (:class:`repro.core.batched.BatchedMulticore`).
+    core_cls = CoreModel
+
     def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy,
                  dram: DRAMSystem) -> None:
         self.config = config
@@ -29,7 +33,7 @@ class Multicore:
         self.dram = dram
         self.atomics = AtomicsArbiter(config.core.atomic_fence_cycles)
         self.cores = [
-            CoreModel(i, config.core, hierarchy, dram, self.atomics)
+            self.core_cls(i, config.core, hierarchy, dram, self.atomics)
             for i in range(config.cores)
         ]
 

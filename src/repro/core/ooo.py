@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.config import CoreConfig
 from repro.common.stats import Stats
@@ -86,7 +87,7 @@ class CoreModel:
         self.atomics = atomics or AtomicsArbiter(config.atomic_fence_cycles)
         self.stats = Stats()
         # Observability bus; None (one branch on forced retire) when off.
-        self.obs = None
+        self.obs: Any = None
         self._window: deque[_InFlight] = deque()
         # Flights whose consumers still occupy issue-queue slots, in window
         # (append) order.  Retired flights are removed lazily: they stay in
@@ -123,7 +124,15 @@ class CoreModel:
     # --------------------------------------------------------------- helpers
 
     def _complete(self, flight: _InFlight) -> int:
-        done = flight.result.resolve(self.dram)
+        # ``AccessResult.resolve`` inlined: one call per op completion.
+        result = flight.result
+        done = result.complete
+        if done < 0:
+            request = result.request
+            if request.finish < 0:
+                self.dram.complete(request)
+            done = request.finish + result.return_latency
+            result.complete = done
         flight.op.complete = done
         return done
 
@@ -133,26 +142,42 @@ class CoreModel:
             if self._iq_flights:
                 self._iq_flights.clear()   # only lazily-retired leftovers
             return
+        # Single pass with a rebuild instead of rotating the deque through
+        # popleft/append: survivors keep their relative (window) order.
         flights = self._iq_flights
-        for _ in range(len(flights)):
-            flight = flights.popleft()
+        kept: list[_InFlight] = []
+        keep = kept.append
+        iq_used = self._iq_used
+        for flight in flights:
             if not flight.in_iq:
                 continue
             complete = flight.result.complete
             if 0 <= complete <= now:
                 flight.in_iq = False
-                self._iq_used -= flight.iq_instrs
+                iq_used -= flight.iq_instrs
             else:
-                flights.append(flight)
+                keep(flight)
+        self._iq_used = iq_used
+        flights.clear()
+        flights.extend(kept)
 
     def _retire_oldest(self, forced: bool = False) -> None:
         flight = self._window.popleft()
-        done = self._complete(flight)
+        # ``_complete`` inlined (one call per retired op).
+        result = flight.result
+        done = result.complete
+        if done < 0:
+            request = result.request
+            if request.finish < 0:
+                self.dram.complete(request)
+            done = request.finish + result.return_latency
+            result.complete = done
+        flight.op.complete = done
         self._rob_used -= flight.instrs
         if flight.in_iq:
             self._iq_used -= flight.iq_instrs
             flight.in_iq = False
-        if flight.op.kind == AccessType.LOAD:
+        if flight.op.kind is AccessType.LOAD:
             self._lq_used -= 1
         else:
             self._sq_used -= 1

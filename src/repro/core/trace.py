@@ -41,6 +41,7 @@ class TraceBuilder:
 
     def __init__(self) -> None:
         self._trace = Trace()
+        self._ops = self._trace.ops
         self._pending_extra = 0
 
     def compute(self, n: int) -> None:
@@ -48,38 +49,50 @@ class TraceBuilder:
             raise ValueError("instruction count must be non-negative")
         self._pending_extra += n
 
-    def _emit(self, kind: AccessType, addr: int, size: int,
-              deps: tuple[int, ...], extra: int, atomic: bool,
-              pc: int, tag: int) -> int:
-        ops = self._trace.ops
-        if deps:
-            n = len(ops)
-            for d in deps:
-                if not 0 <= d < n:
-                    raise ValueError(f"dependence on unknown op {d}")
-        op = MemOp(kind=kind, addr=addr, size=size, deps=deps,
-                   extra_instrs=extra + self._pending_extra,
-                   atomic=atomic, pc=pc, tag=tag)
-        self._pending_extra = 0
-        ops.append(op)
-        return len(ops) - 1
+    # ``load``/``store``/``rmw`` each inline the emit body: workloads call
+    # them once per dynamic memory op, so trace construction pays one
+    # function call per op instead of two.
 
     def load(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
              extra: int = 0, pc: int = 0, tag: int = -1) -> int:
-        return self._emit(AccessType.LOAD, addr, size, deps, extra, False,
-                          pc, tag)
+        ops = self._ops
+        n = len(ops)
+        if deps:
+            for d in deps:
+                if not 0 <= d < n:
+                    raise ValueError(f"dependence on unknown op {d}")
+        ops.append(MemOp(AccessType.LOAD, addr, size, deps,
+                         extra + self._pending_extra, False, pc, tag))
+        self._pending_extra = 0
+        return n
 
     def store(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
               extra: int = 0, atomic: bool = False, pc: int = 0,
               tag: int = -1) -> int:
-        return self._emit(AccessType.STORE, addr, size, deps, extra, atomic,
-                          pc, tag)
+        ops = self._ops
+        n = len(ops)
+        if deps:
+            for d in deps:
+                if not 0 <= d < n:
+                    raise ValueError(f"dependence on unknown op {d}")
+        ops.append(MemOp(AccessType.STORE, addr, size, deps,
+                         extra + self._pending_extra, atomic, pc, tag))
+        self._pending_extra = 0
+        return n
 
     def rmw(self, addr: int, size: int = 8, deps: tuple[int, ...] = (),
             extra: int = 0, atomic: bool = False, pc: int = 0,
             tag: int = -1) -> int:
-        return self._emit(AccessType.RMW, addr, size, deps, extra, atomic,
-                          pc, tag)
+        ops = self._ops
+        n = len(ops)
+        if deps:
+            for d in deps:
+                if not 0 <= d < n:
+                    raise ValueError(f"dependence on unknown op {d}")
+        ops.append(MemOp(AccessType.RMW, addr, size, deps,
+                         extra + self._pending_extra, atomic, pc, tag))
+        self._pending_extra = 0
+        return n
 
     def finish(self) -> Trace:
         self._trace.tail_instrs += self._pending_extra

@@ -74,12 +74,12 @@ class AddressMapper:
                 self._map_cache.clear()
             d = self._decode
             coord = DRAMCoord(
-                channel=(key >> d[0][0]) & d[0][1],
-                rank=(key >> d[1][0]) & d[1][1],
-                bankgroup=(key >> d[2][0]) & d[2][1],
-                bank=(key >> d[3][0]) & d[3][1],
-                row=(key >> d[4][0]) & d[4][1],
-                column=(key >> d[5][0]) & d[5][1],
+                (key >> d[0][0]) & d[0][1],
+                (key >> d[1][0]) & d[1][1],
+                (key >> d[2][0]) & d[2][1],
+                (key >> d[3][0]) & d[3][1],
+                (key >> d[4][0]) & d[4][1],
+                (key >> d[5][0]) & d[5][1],
             )
             self._map_cache[key] = coord
         return coord

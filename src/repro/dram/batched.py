@@ -621,7 +621,10 @@ class BatchedController:
 
         dt = t_col - self._last_occ_time
         if dt > 0:
-            stats.observe("occupancy", self._buffered, dt)
+            # ``stats.observe("occupancy", ...)`` inlined: same float ops,
+            # same accumulators.
+            stats._wsum["occupancy"] += self._buffered * dt
+            stats._wweight["occupancy"] += dt
             self._last_occ_time = t_col
         if t_col > self.time:
             self.time = t_col

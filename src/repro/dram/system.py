@@ -86,10 +86,14 @@ class DRAMSystem:
         ``tenant`` tags the request for per-tenant accounting (-1 =
         untagged); the tag never changes how the request is scheduled.
         """
-        req = DRAMRequest(addr=addr, is_write=is_write, arrival=arrival,
-                          meta=meta, tenant=tenant)
+        req = DRAMRequest(addr, is_write, arrival, meta, -1, tenant)
         if decoded is None:
-            coord = self.mapper.map(addr)
+            # ``mapper.map`` with the memo-hit path inlined (one call per
+            # demand miss; the cache hits far more often than it computes).
+            mapper = self.mapper
+            coord = mapper._map_cache.get(addr >> mapper.offset_bits)
+            if coord is None:
+                coord = mapper.map(addr)
             req.channel = coord.channel
             self.controllers[coord.channel].enqueue_coord(req, coord)
         else:

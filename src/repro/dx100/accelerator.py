@@ -66,9 +66,22 @@ class DX100:
             base=Scratchpad.instance_base(instance, self.config))
         self.regs = RegisterFile(self.config)
         self.tlb = TLB(self.config, self.stats)
-        self.stream = StreamUnit(self.config, hierarchy, dram, hostmem,
+        # The batched units need the fused hierarchy's whole-tile path, so
+        # the selection follows the hierarchy actually wired in (callers
+        # like tests may pair a scalar hierarchy with a batched-default
+        # config).
+        if config.frontend == "batched" and hasattr(hierarchy,
+                                                    "access_lines"):
+            from repro.dx100.batched import (BatchedIndirectUnit,
+                                             BatchedStreamUnit)
+            stream_cls: type[StreamUnit] = BatchedStreamUnit
+            indirect_cls: type[IndirectUnit] = BatchedIndirectUnit
+        else:
+            stream_cls = StreamUnit
+            indirect_cls = IndirectUnit
+        self.stream = stream_cls(self.config, hierarchy, dram, hostmem,
                                  self.tlb, self.stats)
-        self.indirect = IndirectUnit(self.config, hierarchy, dram, hostmem,
+        self.indirect = indirect_cls(self.config, hierarchy, dram, hostmem,
                                      self.tlb, self.stats)
         self.alu = AluUnit(self.config.alu_lanes)
         self.fuser = RangeFuser()

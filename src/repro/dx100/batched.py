@@ -1,0 +1,178 @@
+"""Batched front-end: tile-granular DX100 stream/indirect kernels.
+
+The accelerator half of the ``SystemConfig.frontend = "batched"`` split:
+
+* :class:`BatchedStreamUnit` routes the SLD/SST issue loop through
+  :meth:`repro.cache.batched.BatchedHierarchy.access_lines` — one decode,
+  one fused function for the whole tile instead of two calls per line.
+
+* :class:`BatchedIndirectUnit` keeps the fill -> request -> response
+  pipeline of the scalar unit but feeds the Row Table through
+  :meth:`RowTable.insert_decoded` with coordinate tuples pre-zipped from
+  one ``map_arrays`` decode, and drops the Word Table entirely: the only
+  thing the scalar response stage reads from the linked list is the chain
+  *length*, which the Row Table already carries as ``PendingLine.words``
+  (every insert bumps the column record, every drain snapshots it), so the
+  two numpy scalar writes per element vanish with no observable change.
+
+Both units share the scalar classes' drain/request stage and functional
+(numpy) execution; the differential suite runs the same tiles through both
+front-ends and asserts identical timings, stats, and DRAM streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import AluOp, DType
+from repro.dx100.alu import RMW_UFUNCS
+from repro.dx100.indirect_unit import (RESPONSE_LATENCY, IndirectResult,
+                                       IndirectUnit)
+from repro.dx100.row_table import RowTable
+from repro.dx100.stream_unit import StreamUnit
+
+
+class BatchedStreamUnit(StreamUnit):
+    """SLD/SST over the fused whole-tile LLC path."""
+
+    def _issue_lines(self, lines: np.ndarray, is_write: bool, t_start: int,
+                     avail: tuple[int, float] | None = None,
+                     elems_per_line: float = 1.0) -> tuple[int, int]:
+        if not len(lines):
+            return t_start, t_start
+        return self.hierarchy.access_lines(
+            lines, is_write, t_start,
+            window=self.config.request_table,
+            rate=self.config.stream_issue_rate,
+            avail=avail, elems_per_line=elems_per_line,
+            tenant=self.tenant)
+
+
+class BatchedIndirectUnit(IndirectUnit):
+    """ILD/IST/IRMW with decoded bulk Row Table fills."""
+
+    def execute(self, kind: str, base: int, dtype: DType,
+                indices: np.ndarray, cond: np.ndarray | None,
+                src_values: np.ndarray | None, t_start: int,
+                op: AluOp | None = None,
+                index_avail: tuple[int, float] | None = None,
+                tile: int = -1) -> IndirectResult:
+        if kind not in ("ld", "st", "rmw"):
+            raise ValueError(f"unknown indirect kind {kind!r}")
+        if kind == "rmw" and (op is None or not op.is_commutative_associative):
+            raise ValueError("IRMW needs a commutative+associative op")
+
+        indices = np.asarray(indices, dtype=np.int64)
+        n_tile = len(indices)
+        iters = np.arange(n_tile, dtype=np.int64)
+        if cond is not None:
+            if len(cond) < n_tile:
+                raise ValueError("condition tile shorter than index tile")
+            keep = np.asarray(cond[:n_tile]) != 0
+            iters = iters[keep]
+            sel_idx = indices[keep]
+        else:
+            sel_idx = indices
+        addrs = base + sel_idx * dtype.nbytes
+
+        t = t_start + (self.tlb.translate_tile(addrs) if addrs.size else 0)
+        fields = self.mapper.map_arrays(addrs) if addrs.size else None
+
+        row_table = RowTable(self.config.row_table_rows,
+                             self.config.row_table_cols)
+        drains = 0
+        pending_reqs: list = []
+
+        fill_rate = self.config.fill_rate
+        avail_t0, avail_rate = index_avail if index_avail else (t, float("inf"))
+        fill_cursor = float(t)
+
+        if fields is not None:
+            # One decode, the per-element loop then touches Python lists
+            # only: bank keys pre-zipped for insert_decoded, rows/lines as
+            # flat ints.
+            keys = list(zip(fields["channel"].tolist(),
+                            fields["rank"].tolist(),
+                            fields["bankgroup"].tolist(),
+                            fields["bank"].tolist()))
+            rows = fields["row"].tolist()
+            lines = fields["line"].tolist()
+            it_list = iters.tolist()
+            snoop = self.hierarchy.snoop
+            insert = row_table.insert_decoded
+            for e in range(len(it_list)):
+                fill_cursor = max(fill_cursor + 1.0 / fill_rate,
+                                  avail_t0 + e / avail_rate)
+                accepted, _prev = insert(keys[e], rows[e], lines[e],
+                                         it_list[e], snoop)
+                if not accepted:
+                    # Capacity drain, then retry (must succeed on empty table).
+                    pending_reqs += self._drain(row_table, int(fill_cursor),
+                                                kind, tile)
+                    drains += 1
+                    accepted, _prev = insert(keys[e], rows[e], lines[e],
+                                             it_list[e], snoop)
+                    if not accepted:
+                        raise RuntimeError("insert failed on empty Row Table")
+
+        pending_reqs += self._drain(row_table, int(fill_cursor), kind, tile)
+        drains += 1
+        if self.obs is not None:
+            self.obs.tile_phase(tile, "fill", t_start, int(fill_cursor),
+                                lines=int(iters.size))
+
+        # ------------------------------------------------------- response
+        finish = int(fill_cursor)
+        served = 0
+        wb_lo = wb_hi = -1
+        wb_lines = 0
+        for pline, access in pending_reqs:
+            completion = access.resolve(self.dram)
+            served += pline.words
+            if kind in ("st", "rmw") and not pline.h_bit:
+                wr = self.dram.access(pline.line_addr, is_write=True,
+                                      arrival=completion + 1,
+                                      decoded=pline.coord + (pline.row,),
+                                      tenant=self.tenant)
+                wb_lines += 1
+                if wb_lo < 0 or wr.arrival < wb_lo:
+                    wb_lo = wr.arrival
+                if wr.arrival > wb_hi:
+                    wb_hi = wr.arrival
+                completion = max(completion, wr.arrival)
+            finish = max(finish, completion)
+        if iters.size and served != iters.size:
+            raise RuntimeError(
+                f"row table served {served} of {iters.size} elements"
+            )
+        finish += RESPONSE_LATENCY
+        if self.obs is not None:
+            self.obs.tile_phase(tile, "response", int(fill_cursor), finish,
+                                lines=len(pending_reqs))
+            if wb_lines:
+                self.obs.tile_phase(tile, "writeback", wb_lo, wb_hi,
+                                    lines=wb_lines)
+
+        # ------------------------------------------------------ functional
+        values = None
+        if kind == "ld":
+            values = np.zeros(n_tile, dtype=dtype.numpy_name)
+            if addrs.size:
+                values[iters] = self.hostmem.read_words(addrs, dtype)
+        elif kind == "st":
+            if addrs.size:
+                src = np.asarray(src_values)[iters]
+                self.hostmem.write_words(addrs, src, dtype)
+        else:  # rmw
+            if addrs.size:
+                src = np.asarray(src_values)[iters]
+                self.hostmem.rmw_words(addrs, src, dtype, RMW_UFUNCS[op])
+
+        unique = row_table.unique_lines
+        self.stats.add(f"i{kind}_elements", iters.size)
+        self.stats.add(f"i{kind}_lines", unique)
+        self.stats.add("indirect_drains", drains)
+        return IndirectResult(values=values, finish=finish,
+                              elements=int(iters.size), unique_lines=unique,
+                              drains=drains, start=t,
+                              busy_until=int(fill_cursor))

@@ -40,9 +40,15 @@ class ColumnRecord:
 class _Slice:
     coord: tuple[int, int, int, int]       # (channel, rank, bankgroup, bank)
     rows: dict[int, dict[int, ColumnRecord]] = field(default_factory=dict)
+    #: BCAM entries consumed (ceil(lines/cols_per_entry) summed over rows),
+    #: maintained incrementally on insert.  The *insert* capacity check
+    #: reads this counter (rows only grow between drains, so it is exact);
+    #: :meth:`entry_units` still recomputes from the rows so external
+    #: checkers (the serving layer's invariants) detect state corrupted
+    #: behind the API.
+    units: int = 0
 
     def entry_units(self) -> int:
-        """BCAM entries consumed (ceil(lines/cols_per_entry) per row)."""
         return sum(-(-len(cols) // _Slice.cols_per_entry)
                    for cols in self.rows.values())
 
@@ -85,12 +91,23 @@ class RowTable:
         ``h_bit_fn(line_addr)`` is consulted only on a line's first touch —
         the directory snoop of Section 3.6.
         """
-        key = coord.flat_bank
-        sl = self._slices.get(key)
+        return self.insert_decoded(coord.flat_bank, coord.row, line_addr,
+                                   iteration, h_bit_fn)
+
+    def insert_decoded(self, flat_bank: tuple[int, int, int, int], row: int,
+                       line_addr: int, iteration: int,
+                       h_bit_fn) -> tuple[bool, int | None]:
+        """:meth:`insert` keyed by pre-decoded ``(flat_bank, row)``.
+
+        The batched indirect unit decodes whole tiles through
+        ``AddressMapper.map_arrays`` and feeds the coordinate fields here
+        directly, skipping the per-element :class:`DRAMCoord` construction.
+        """
+        sl = self._slices.get(flat_bank)
         if sl is None:
-            sl = _Slice(coord=key)
-            self._slices[key] = sl
-        cols = sl.rows.get(coord.row)
+            sl = _Slice(coord=flat_bank)
+            self._slices[flat_bank] = sl
+        cols = sl.rows.get(row)
         if cols is not None and line_addr in cols:
             rec = cols[line_addr]
             prev = rec.tail_i
@@ -99,18 +116,18 @@ class RowTable:
             self.inserted_words += 1
             return True, prev
         # A new line: check BCAM capacity.
-        units = sl.entry_units()
         if cols is None:
             needed = 1
         else:
             needed = 1 if len(cols) % self.cols_per_row == 0 else 0
-        if units + needed > self.rows_per_slice:
+        if sl.units + needed > self.rows_per_slice:
             return False, None
         if cols is None:
             cols = {}
-            sl.rows[coord.row] = cols
+            sl.rows[row] = cols
         cols[line_addr] = ColumnRecord(line_addr=line_addr, tail_i=iteration,
                                        h_bit=bool(h_bit_fn(line_addr)))
+        sl.units += needed
         self.inserted_words += 1
         self.unique_lines += 1
         return True, None

@@ -44,39 +44,49 @@ class DMPEngine:
         self.train_iters = train_iters
         self.stats = Stats()
         self._streams: dict[int, np.ndarray] = {}
+        #: Per-PC target stream pre-masked to line addresses and converted
+        #: to plain ints once at registration — ``observe`` runs on every
+        #: demand access and must not touch numpy scalars there.
+        self._lines: dict[int, list[int]] = {}
         self._issued: dict[int, set[int]] = {}
         self._stride = max(1, round(1.0 / coverage)) if coverage > 0 else 0
 
     def register_stream(self, pc: int, target_addrs) -> None:
         """Declare the unconditional indirect target stream for a load PC."""
-        self._streams[pc] = np.asarray(target_addrs, dtype=np.int64)
+        arr = np.asarray(target_addrs, dtype=np.int64)
+        self._streams[pc] = arr
+        self._lines[pc] = (arr & ~63).tolist()
         self._issued[pc] = set()
 
     def observe(self, core: int, addr: int, pc: int, tag: int,
                 t: int) -> None:
         """Called on every demand access; issues lookahead prefetches."""
-        stream = self._streams.get(pc)
-        if stream is None or tag < 0:
+        lines = self._lines.get(pc)
+        if lines is None or tag < 0:
             return
         if tag < self.train_iters:
             return  # differential matching still training
-        if self._stride == 0:
+        stride = self._stride
+        if stride == 0:
             return
         start = tag + self.distance
+        n = len(lines)
+        issued = self._issued[pc]
+        counters = self.stats.counters
+        partial = self.coverage < 1.0
         for k in range(self.degree):
             it = start + k
-            if it >= len(stream):
+            if it >= n:
                 continue
             # Deterministic coverage striping instead of RNG.
-            if (it % self._stride) and self.coverage < 1.0:
-                self.stats.add("dmp_dropped")
+            if partial and it % stride:
+                counters["dmp_dropped"] += 1.0
                 continue
-            line = int(stream[it]) & ~63
-            if it in self._issued[pc]:
+            if it in issued:
                 continue
-            self._issued[pc].add(it)
-            self.stats.add("dmp_prefetches")
-            self.hierarchy.prefetch_into(core, line, t)
+            issued.add(it)
+            counters["dmp_prefetches"] += 1.0
+            self.hierarchy.prefetch_into(core, lines[it], t)
 
     def accuracy_against(self, taken_tags: dict[int, set[int]]) -> float:
         """Fraction of issued prefetches whose iteration was actually taken

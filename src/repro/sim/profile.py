@@ -86,6 +86,91 @@ def _component_of(filename: str) -> str:
     return "stdlib/other"
 
 
+#: (module-basename, function-name) -> pipeline stage.  Function names win
+#: over the per-file fallbacks below so fused batched kernels and their
+#: scalar twins land in the same row.
+_STAGE_FUNCS = {
+    # Tag-array interrogation (scalar Cache methods).
+    ("cache.py", "hit"): "cache:tag-lookup",
+    ("cache.py", "lookup"): "cache:tag-lookup",
+    ("cache.py", "touch"): "cache:tag-lookup",
+    ("cache.py", "line_addr"): "cache:tag-lookup",
+    # Fills and evictions.
+    ("cache.py", "insert"): "cache:fill",
+    ("cache.py", "invalidate"): "cache:fill",
+    ("hierarchy.py", "_fill"): "cache:fill",
+    ("hierarchy.py", "_prefetch_fill"): "cache:fill",
+    ("hierarchy.py", "prefetch_into"): "cache:fill",
+    ("batched.py", "_prefetch_fill"): "cache:fill",
+    ("batched.py", "prefetch_into"): "cache:fill",
+    # MSHR adjudication.
+    ("hierarchy.py", "_stall_for_mshr"): "cache:mshr",
+    # ROB drain: retirement and completion on both front-ends.
+    ("ooo.py", "_retire_oldest"): "core:rob-drain",
+    ("ooo.py", "_drain_iq"): "core:rob-drain",
+    ("ooo.py", "_complete"): "core:rob-drain",
+    ("ooo.py", "drain"): "core:rob-drain",
+    ("batched.py", "_drain_iq"): "core:rob-drain",
+    ("batched.py", "_complete"): "core:rob-drain",
+    ("batched.py", "drain"): "core:rob-drain",
+}
+
+#: subpackage-or-module fallback -> stage, applied when no function rule
+#: matched.  ``cache/batched.py``'s fused walk deliberately lands in
+#: ``cache:walk``: it *is* tag lookup + MSHR + fill in one body, and
+#: splitting it would require instrumentation the un-instrumented sweep
+#: must not carry.
+_STAGE_FILES = {
+    ("cache", "mshr.py"): "cache:mshr",
+    ("cache", "prefetcher.py"): "cache:prefetch",
+    ("prefetch", None): "cache:prefetch",
+    ("cache", None): "cache:walk",
+    ("core", "trace.py"): "core:trace",
+    ("core", None): "core:dispatch",
+    ("dram", "address.py"): "dram:decode",
+    ("dram", None): "dram:engine",
+    ("dx100", None): "dx100",
+    ("workloads", None): "workloads:gen",
+}
+
+
+def _stage_of(filename: str, func: str) -> str:
+    """Pipeline-stage attribution for one profiled function."""
+    if not filename.startswith(_SRC_ROOT):
+        return "other"
+    rel = filename[len(_SRC_ROOT):].lstrip("/")
+    parts = rel.split("/")
+    base = parts[-1]
+    head = parts[0]
+    stage = _STAGE_FUNCS.get((base, func))
+    if stage is not None and (head in ("cache", "core", "prefetch")):
+        return stage
+    stage = _STAGE_FILES.get((head, base))
+    if stage is not None:
+        return stage
+    stage = _STAGE_FILES.get((head, None))
+    if stage is not None:
+        return stage
+    return "sim:other"
+
+
+def stage_breakdown(stats: pstats.Stats) -> dict[str, float]:
+    """Fold cProfile ``tottime`` into pipeline-stage rows.
+
+    The rows answer the perf questions the sweep record tracks over time:
+    how much wall goes to tag lookup, MSHR adjudication, fills, prefetch
+    engines, ROB drain, dispatch, trace construction, and the DRAM
+    engine — independent of which front-end or engine produced them.
+    """
+    stages: dict[str, float] = {}
+    for (filename, _line, func), entry in stats.stats.items():
+        tottime = entry[2]
+        stage = _stage_of(filename, func)
+        stages[stage] = stages.get(stage, 0.0) + tottime
+    return {k: round(v, 6) for k, v in
+            sorted(stages.items(), key=lambda kv: -kv[1])}
+
+
 def _relative(filename: str) -> str:
     root = str(Path(_SRC_ROOT).parents[1])  # the repo root
     if filename.startswith(root):
@@ -125,16 +210,21 @@ def summarize_profile(stats: pstats.Stats, top: int = 25,
 
 
 def profile_run(benchmark: str = "IS", mode: str = "baseline",
-                quick: bool = True, top: int = 25) -> dict:
+                quick: bool = True, top: int = 25,
+                frontend: str | None = None) -> dict:
     """Profile one (benchmark, mode) run; returns the structured report.
 
     The run itself is a plain :func:`repro.sim.runner.run_baseline` /
     ``run_dx100`` call — same configs the sweep uses — executed under
     cProfile with a :class:`StageTimers` threaded through, so the report's
-    numbers describe exactly the code the sweep exercises.
+    numbers describe exactly the code the sweep exercises.  ``frontend``
+    overrides :attr:`SystemConfig.frontend` (profile the scalar oracle
+    against the batched engine on identical work).
     """
     # Imported here so that `import repro.sim.profile` stays dependency-free
     # for the runner (which imports NULL_TIMERS from this module).
+    from dataclasses import replace
+
     from repro.common.config import SystemConfig
     from repro.sim.runner import run_baseline, run_dx100
     from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
@@ -151,6 +241,8 @@ def profile_run(benchmark: str = "IS", mode: str = "baseline",
         raise ValueError(f"unknown mode {mode!r} (want {sorted(builders)})")
     workload = registry[benchmark]()
     config = builders[mode](4)
+    if frontend is not None:
+        config = replace(config, frontend=frontend)
 
     timers = StageTimers()
     profiler = cProfile.Profile()
@@ -163,15 +255,18 @@ def profile_run(benchmark: str = "IS", mode: str = "baseline",
     profiler.disable()
     wall = perf_counter() - t0
 
-    hotspots, components = summarize_profile(pstats.Stats(profiler), top)
+    stats = pstats.Stats(profiler)
+    hotspots, components = summarize_profile(stats, top)
     return {
         "schema": PROFILE_SCHEMA,
         "benchmark": benchmark,
         "mode": mode,
         "quick": quick,
+        "frontend": frontend or config.frontend,
         "wall_s": round(wall, 6),
         "stages_s": timers.as_dict(),
         "components_s": components,
+        "pipeline_stages_s": stage_breakdown(stats),
         "hotspots": hotspots,
         "result": {
             "cycles": result.cycles,
@@ -181,6 +276,34 @@ def profile_run(benchmark: str = "IS", mode: str = "baseline",
             "bandwidth_utilization": result.bandwidth_utilization,
             "row_buffer_hit_rate": result.row_buffer_hit_rate,
         },
+    }
+
+
+def profile_tasks(tasks) -> dict:
+    """Profile a list of :class:`~repro.sim.sweep.SweepTask` serially.
+
+    One cProfile session accumulates across every task, so the folded
+    components and pipeline-stage rows describe the *whole grid* the way
+    ``BENCH_mainsweep.json`` tracks it.  Runs everything in-process with
+    no cache — this is the instrumented second pass behind
+    ``python -m repro sweep --profile``; the un-instrumented wall-clock is
+    measured separately by the sweep itself.
+    """
+    from repro.sim.sweep import execute_task
+
+    profiler = cProfile.Profile()
+    t0 = perf_counter()
+    profiler.enable()
+    for task in tasks:
+        execute_task(task)
+    profiler.disable()
+    wall = perf_counter() - t0
+    stats = pstats.Stats(profiler)
+    _, components = summarize_profile(stats, top=0)
+    return {
+        "profile_wall_s": round(wall, 3),
+        "profile_components_s": components,
+        "profile_stages_s": stage_breakdown(stats),
     }
 
 
@@ -200,6 +323,10 @@ def format_report(report: dict) -> str:
     lines.append("components (cProfile tottime, seconds):")
     for name, secs in report["components_s"].items():
         lines.append(f"  {name:<14s} {secs:9.3f}")
+    lines.append("")
+    lines.append("pipeline stages (cProfile tottime, seconds):")
+    for name, secs in report.get("pipeline_stages_s", {}).items():
+        lines.append(f"  {name:<18s} {secs:9.3f}")
     lines.append("")
     lines.append(f"top {len(report['hotspots'])} hotspots by tottime:")
     lines.append(f"  {'tottime':>9s} {'cumtime':>9s} {'ncalls':>9s}  function")

@@ -46,7 +46,7 @@ def run_baseline(workload: Workload, config: SystemConfig | None = None,
     """
     timers = timers or NULL_TIMERS
     config = config or SystemConfig.baseline()
-    system = SimSystem(config, obs=obs)
+    system = SimSystem(config, mem_bytes=workload.mem_bytes, obs=obs)
     if tenant >= 0:
         system.set_tenant(tenant)
     with timers.stage("generate"):
@@ -127,7 +127,7 @@ def run_dx100(workload: Workload, config: SystemConfig | None = None,
     config = config or SystemConfig.dx100_system()
     if config.dx100 is None:
         raise ValueError("run_dx100 needs a DX100 configuration")
-    system = SimSystem(config, obs=obs)
+    system = SimSystem(config, mem_bytes=workload.mem_bytes, obs=obs)
     if tenant >= 0:
         system.set_tenant(tenant)
     dx = system.dx100

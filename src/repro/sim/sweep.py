@@ -134,7 +134,16 @@ class SweepTask:
         return registry[self.benchmark]
 
     def key(self) -> str:
-        """Content-addressed cache key for this task."""
+        """Content-addressed cache key for this task.
+
+        ``frontend`` and ``scale`` are named explicitly even though both
+        are derivable (``config.frontend`` rides in via ``asdict``, and
+        ``quick`` implies the registry): the simulation front-end and the
+        dataset scale each select a different engine/workload pairing, and
+        an aliased cache hit across either would silently replay the wrong
+        run.  Keeping them as top-level key fields makes that impossible
+        to regress by refactoring the config dict.
+        """
         payload = {
             "schema": CACHE_SCHEMA,
             "model": model_version(),
@@ -142,6 +151,8 @@ class SweepTask:
             "mode": self.mode,
             "warm": self.warm,
             "sample_every": self.sample_every,
+            "frontend": self.config.frontend,
+            "scale": "quick" if self.quick else "main",
             "config": asdict(self.config),
         }
         blob = json.dumps(payload, sort_keys=True, default=str)
@@ -227,7 +238,15 @@ class RunCache:
 # ---------------------------------------------------------------- execution
 
 def execute_task(task: SweepTask) -> tuple[RunResult, float]:
-    """Run one task from scratch; returns (result, wall seconds)."""
+    """Run one task from scratch; returns (result, wall seconds).
+
+    The cyclic GC is paused for the duration of the run: the simulators
+    allocate millions of short-lived records (ops, results, heap nodes)
+    whose generation scans cost several percent of wall time, and the
+    object graph is acyclic by construction, so deferring collection to
+    the gaps between tasks loses nothing.
+    """
+    import gc
     from repro.sim.runner import run_baseline, run_dx100
     t0 = time.perf_counter()
     workload = task.factory()()
@@ -235,10 +254,18 @@ def execute_task(task: SweepTask) -> tuple[RunResult, float]:
     if task.sample_every:
         from repro.obs.events import EventBus
         obs = EventBus(trace=False, sample_every=task.sample_every)
-    if task.mode == "dx100":
-        result = run_dx100(workload, task.config, warm=task.warm, obs=obs)
-    else:
-        result = run_baseline(workload, task.config, warm=task.warm, obs=obs)
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        if task.mode == "dx100":
+            result = run_dx100(workload, task.config, warm=task.warm, obs=obs)
+        else:
+            result = run_baseline(workload, task.config, warm=task.warm,
+                                  obs=obs)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return result, time.perf_counter() - t0
 
 
@@ -450,13 +477,17 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
                      modes: tuple[str, ...] = MODES, cores: int = 4,
                      audit: bool = False,
                      sample_every: int = 0,
-                     engine: str | None = None) -> list[SweepTask]:
+                     engine: str | None = None,
+                     frontend: str | None = None) -> list[SweepTask]:
     """The Figure 9-12 grid: every benchmark under every configuration.
 
     ``engine`` overrides :attr:`DRAMConfig.engine` for every task
     (``"scalar"`` runs the whole grid on the per-request oracle — the CI
     differential check that the goldens hold on both engines).  It is part
     of each task's cache key, so oracle runs never alias batched ones.
+    ``frontend`` does the same for :attr:`SystemConfig.frontend`
+    (``"scalar"`` replays the grid on the per-op cache/core oracle — the
+    front-end half of the differential check).
     """
     from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
     registry = QUICK_BENCHMARKS if quick else MAIN_BENCHMARKS
@@ -474,6 +505,8 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
             if engine is not None:
                 config = replace(config,
                                  dram=replace(config.dram, engine=engine))
+            if frontend is not None:
+                config = replace(config, frontend=frontend)
             tasks.append(SweepTask(benchmark=name, mode=mode, quick=quick,
                                    config=config,
                                    sample_every=sample_every))
@@ -487,11 +520,13 @@ def run_main_sweep(quick: bool = False,
                    cache_dir: str | Path | None = None,
                    results_dir: str | Path | None = None,
                    sample_every: int = 0,
-                   engine: str | None = None) -> SweepOutcome:
+                   engine: str | None = None,
+                   frontend: str | None = None) -> SweepOutcome:
     """Run the main-evaluation grid and emit the structured JSON records
     (``results/sweep.json`` + ``BENCH_mainsweep.json``)."""
     tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes,
-                             sample_every=sample_every, engine=engine)
+                             sample_every=sample_every, engine=engine,
+                             frontend=frontend)
     outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir)
     outcome.extras["quick"] = quick
     if results_dir is not None:

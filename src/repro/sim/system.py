@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from repro.common.config import SystemConfig
+from repro.cache.batched import BatchedHierarchy
 from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.batched import BatchedMulticore
 from repro.core.multicore import Multicore
 from repro.dram.system import DRAMSystem
 from repro.dx100.accelerator import DX100
@@ -18,19 +20,29 @@ class SimSystem:
                  mem_bytes: int = 1 << 26,
                  audit: bool | None = None,
                  obs=None) -> None:
+        if config.frontend not in ("batched", "scalar"):
+            raise ValueError(f"unknown frontend {config.frontend!r} "
+                             "(expected 'batched' or 'scalar')")
+        batched = config.frontend == "batched"
         self.config = config
         self.dram = DRAMSystem(config.dram, audit=audit)
-        self.hierarchy = MemoryHierarchy(config, self.dram)
+        self.hierarchy = (BatchedHierarchy if batched
+                          else MemoryHierarchy)(config, self.dram)
         self.hostmem = HostMemory(mem_bytes)
-        self.multicore = Multicore(config, self.hierarchy, self.dram)
+        self.multicore = (BatchedMulticore if batched
+                          else Multicore)(config, self.hierarchy, self.dram)
         self.dx100 = (DX100(config, self.hierarchy, self.dram, self.hostmem)
                       if config.dx100 is not None else None)
         self.dmp = None
         if config.dmp:
             self.dmp = DMPEngine(self.hierarchy)
-            self.hierarchy.observers.append(
-                lambda core, addr, pc, tag, t:
-                self.dmp.observe(core, addr, pc, tag, t))
+            # The observer protocol is exactly ``observe``'s signature, so
+            # register the bound method itself (one call per demand access).
+            self.hierarchy.observers.append(self.dmp.observe)
+            # ``observe`` returns without side effects unless the PC has a
+            # registered stream and the op carries a loop tag; publish that
+            # early-out so the batched walk can skip the call.
+            self.hierarchy.observer_pc_filter = self.dmp._lines
         # Observability: an :class:`repro.obs.events.EventBus` (or None).
         # Attached last so the bus sees the fully-built component graph.
         self.obs = obs

@@ -10,7 +10,9 @@ from repro.workloads.micro import (
     GatherAllMiss, GatherFull, GatherSPD, RMWAtomic, RMWNoAtom, Scatter,
 )
 from repro.workloads.nas import ConjugateGradient, IntegerSort
-from repro.workloads.registry import MAIN_BENCHMARKS, QUICK_BENCHMARKS
+from repro.workloads.registry import (
+    FULL_BENCHMARKS, MAIN_BENCHMARKS, QUICK_BENCHMARKS,
+)
 from repro.workloads.spatter import SpatterXRAGE
 from repro.workloads.spatter_patterns import SpatterKernel, expand_spec
 from repro.workloads.ume import GZP, GZPI, GZZ, GZZI
@@ -22,6 +24,7 @@ __all__ = [
     "ConjugateGradientF64",
     "ConnectedComponents",
     "CoreWork",
+    "FULL_BENCHMARKS",
     "GatherAllMiss",
     "GatherFull",
     "GatherSPD",

@@ -59,6 +59,11 @@ class Workload(ABC):
     suite: str = "suite"
     pattern: str = ""          # the Table 1 row for this kernel
     single_core_baseline: bool = False   # scatter: WAW hazards serialize
+    #: Simulated host-memory footprint this workload needs.  The runner
+    #: sizes :class:`~repro.dx100.hostmem.HostMemory` from this, so
+    #: full-scale registry entries (paper-sized footprints) can raise it
+    #: past the 64 MiB default without touching every call site.
+    mem_bytes: int = 1 << 26
 
     def __init__(self, scale: int, seed: int = 0) -> None:
         self.scale = scale

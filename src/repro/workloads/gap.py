@@ -115,23 +115,31 @@ class BFS(_GraphWorkload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        # Plain-int views: per-element numpy indexing in the emit loop
+        # dominates trace-construction time otherwise.
+        frontier = self.frontier.tolist()
+        h_vals = self.h.tolist()
+        adj = self.adj.tolist()
+        dist = self.dist.tolist()
+        k_base, h_base, adj_base = self.k_base, self.h_base, self.adj_base
+        dist_base, parent_base = self.dist_base, self.parent_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                u = int(self.frontier[i])
-                tb.load(self.k_base + 8 * i, pc=PC_INDEX, extra=2)
-                hk = tb.load(self.h_base + 8 * u, pc=PC_EXTRA, extra=2)
-                for j in range(int(self.h[u]), int(self.h[u + 1])):
-                    v = int(self.adj[j])
-                    aj = tb.load(self.adj_base + 8 * j, deps=(hk,),
+                u = frontier[i]
+                tb.load(k_base + 8 * i, pc=PC_INDEX, extra=2)
+                hk = tb.load(h_base + 8 * u, pc=PC_EXTRA, extra=2)
+                for j in range(h_vals[u], h_vals[u + 1]):
+                    v = adj[j]
+                    aj = tb.load(adj_base + 8 * j, deps=(hk,),
                                  pc=PC_INDEX, extra=1, tag=j)
-                    dv = tb.load(self.dist_base + 8 * v, deps=(aj,),
+                    dv = tb.load(dist_base + 8 * v, deps=(aj,),
                                  pc=PC_INDIRECT, extra=BASE_ADDR_CALC - 2,
                                  tag=j)
-                    if self.dist[v] == INF:
+                    if dist[v] == INF:
                         # Condition is a speculated branch; the address
                         # data-depends on the neighbour id only.
-                        tb.store(self.parent_base + 8 * v, deps=(aj,),
+                        tb.store(parent_base + 8 * v, deps=(aj,),
                                  pc=PC_VALUE, extra=2, tag=j)
                     else:
                         tb.compute(2)
@@ -204,15 +212,19 @@ class PageRank(_GraphWorkload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        h_vals = self.h.tolist()
+        adj = self.adj.tolist()
+        h_base, contrib_base = self.h_base, self.contrib_base
+        adj_base, score_base = self.adj_base, self.score_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                hk = tb.load(self.h_base + 8 * i, pc=PC_EXTRA, extra=2)
-                tb.load(self.contrib_base + 8 * i, pc=PC_VALUE, extra=1)
-                for j in range(int(self.h[i]), int(self.h[i + 1])):
-                    aj = tb.load(self.adj_base + 8 * j, deps=(hk,),
+                hk = tb.load(h_base + 8 * i, pc=PC_EXTRA, extra=2)
+                tb.load(contrib_base + 8 * i, pc=PC_VALUE, extra=1)
+                for j in range(h_vals[i], h_vals[i + 1]):
+                    aj = tb.load(adj_base + 8 * j, deps=(hk,),
                                  pc=PC_INDEX, extra=1, tag=j)
-                    tb.rmw(self.score_base + 8 * int(self.adj[j]),
+                    tb.rmw(score_base + 8 * adj[j],
                            deps=(aj,), atomic=True, pc=PC_INDIRECT,
                            extra=BASE_ADDR_CALC - 2, tag=j)
             traces.append(tb.finish())
@@ -269,21 +281,29 @@ class BetweennessCentrality(_GraphWorkload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        frontier = self.frontier.tolist()
+        h_vals = self.h.tolist()
+        adj = self.adj.tolist()
+        depth = self.depth.tolist()
+        level = self.level
+        k_base, h_base, sigma_base = (self.k_base, self.h_base,
+                                      self.sigma_base)
+        adj_base, depth_base = self.adj_base, self.depth_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                u = int(self.frontier[i])
-                tb.load(self.k_base + 8 * i, pc=PC_INDEX, extra=2)
-                hk = tb.load(self.h_base + 8 * u, pc=PC_EXTRA, extra=2)
-                su = tb.load(self.sigma_base + 8 * u, pc=PC_VALUE, extra=1)
-                for j in range(int(self.h[u]), int(self.h[u + 1])):
-                    v = int(self.adj[j])
-                    aj = tb.load(self.adj_base + 8 * j, deps=(hk,),
+                u = frontier[i]
+                tb.load(k_base + 8 * i, pc=PC_INDEX, extra=2)
+                hk = tb.load(h_base + 8 * u, pc=PC_EXTRA, extra=2)
+                su = tb.load(sigma_base + 8 * u, pc=PC_VALUE, extra=1)
+                for j in range(h_vals[u], h_vals[u + 1]):
+                    v = adj[j]
+                    aj = tb.load(adj_base + 8 * j, deps=(hk,),
                                  pc=PC_INDEX, extra=1, tag=j)
-                    dv = tb.load(self.depth_base + 8 * v, deps=(aj,),
+                    dv = tb.load(depth_base + 8 * v, deps=(aj,),
                                  pc=PC_INDIRECT, extra=3, tag=j)
-                    if self.depth[v] == self.level:
-                        tb.rmw(self.sigma_base + 8 * v, deps=(aj, su),
+                    if depth[v] == level:
+                        tb.rmw(sigma_base + 8 * v, deps=(aj, su),
                                atomic=True, pc=PC_VALUE,
                                extra=BASE_ADDR_CALC - 3, tag=j)
                     else:

@@ -64,20 +64,26 @@ class RadixJoinHistogram(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        # Plain-int views: per-element numpy indexing in the emit loop
+        # dominates trace-construction time otherwise.
+        radix = self.radix.tolist()
+        offsets = self.offsets.tolist()
+        c_base, hist_base = self.c_base, self.hist_base
+        b_base, a_base = self.b_base, self.a_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
                 # Histogram pass.
-                key = tb.load(self.c_base + 8 * i, pc=PC_INDEX, extra=3)
-                tb.rmw(self.hist_base + 8 * int(self.radix[i]), deps=(key,),
+                key = tb.load(c_base + 8 * i, pc=PC_INDEX, extra=3)
+                tb.rmw(hist_base + 8 * radix[i], deps=(key,),
                        atomic=True, pc=PC_VALUE, extra=3, tag=i)
             for i in part:
                 # Scatter pass.
-                key = tb.load(self.c_base + 8 * i, pc=PC_INDEX, extra=3,
+                key = tb.load(c_base + 8 * i, pc=PC_INDEX, extra=3,
                               tag=i)
-                off = tb.load(self.b_base + 8 * int(self.radix[i]),
+                off = tb.load(b_base + 8 * radix[i],
                               deps=(key,), pc=PC_EXTRA, extra=2, tag=i)
-                tb.store(self.a_base + 8 * int(self.offsets[self.radix[i]]),
+                tb.store(a_base + 8 * offsets[radix[i]],
                          deps=(off,), pc=PC_INDIRECT,
                          extra=BASE_ADDR_CALC - 4, tag=i)
             traces.append(tb.finish())
@@ -146,23 +152,29 @@ class RadixJoinChaining(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        probe_radix = self.probe_radix.tolist()
+        head = self.head.tolist()
+        nxt = self.next.tolist()
+        probe_base, head_base = self.probe_base, self.head_base
+        pay_base, next_base, res_base = (self.pay_base, self.next_base,
+                                         self.res_base)
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                h = int(self.probe_radix[i])
-                n0 = int(self.head[h])
-                n1 = int(self.next[n0])
-                key = tb.load(self.probe_base + 8 * i, pc=PC_INDEX, extra=3,
+                h = probe_radix[i]
+                n0 = head[h]
+                n1 = nxt[n0]
+                key = tb.load(probe_base + 8 * i, pc=PC_INDEX, extra=3,
                               tag=i)
-                e0 = tb.load(self.head_base + 8 * h, deps=(key,),
+                e0 = tb.load(head_base + 8 * h, deps=(key,),
                              pc=PC_INDIRECT, extra=3, tag=i)
-                p0 = tb.load(self.pay_base + 8 * n0, deps=(e0,),
+                p0 = tb.load(pay_base + 8 * n0, deps=(e0,),
                              pc=PC_VALUE, extra=2, tag=i)
-                e1 = tb.load(self.next_base + 8 * n0, deps=(e0,),
+                e1 = tb.load(next_base + 8 * n0, deps=(e0,),
                              pc=PC_EXTRA, extra=2, tag=i)
-                p1 = tb.load(self.pay_base + 8 * n1, deps=(e1,),
+                p1 = tb.load(pay_base + 8 * n1, deps=(e1,),
                              pc=PC_VALUE, extra=2, tag=i)
-                tb.store(self.res_base + 8 * i, deps=(p0, p1),
+                tb.store(res_base + 8 * i, deps=(p0, p1),
                          pc=PC_OUTPUT, extra=3)
             traces.append(tb.finish())
         return traces

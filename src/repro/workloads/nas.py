@@ -52,12 +52,16 @@ class IntegerSort(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        # Plain-int views: per-element numpy indexing in the emit loop
+        # dominates trace-construction time otherwise.
+        keys = self.keys.tolist()
+        k_base, count_base = self.k_base, self.count_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                idx = tb.load(self.k_base + 8 * i, pc=PC_INDEX, extra=2,
+                idx = tb.load(k_base + 8 * i, pc=PC_INDEX, extra=2,
                               tag=i)
-                tb.rmw(self.count_base + 4 * int(self.keys[i]), size=4,
+                tb.rmw(count_base + 4 * keys[i], size=4,
                        deps=(idx,), atomic=True, pc=PC_INDIRECT,
                        extra=BASE_ADDR_CALC, tag=i)
             traces.append(tb.finish())
@@ -115,18 +119,23 @@ class ConjugateGradient(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        h_vals = self.h.tolist()
+        col = self.col.tolist()
+        h_base, col_base, vals_base = (self.h_base, self.col_base,
+                                       self.vals_base)
+        x_base, y_base = self.x_base, self.y_base
         for rows in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in rows:
-                tb.load(self.h_base + 8 * i, pc=PC_EXTRA, extra=2)
-                for j in range(int(self.h[i]), int(self.h[i + 1])):
-                    cidx = tb.load(self.col_base + 8 * j, pc=PC_INDEX,
+                tb.load(h_base + 8 * i, pc=PC_EXTRA, extra=2)
+                for j in range(h_vals[i], h_vals[i + 1]):
+                    cidx = tb.load(col_base + 8 * j, pc=PC_INDEX,
                                    extra=1, tag=j)
-                    tb.load(self.vals_base + 8 * j, pc=PC_VALUE, extra=1)
-                    tb.load(self.x_base + 8 * int(self.col[j]),
+                    tb.load(vals_base + 8 * j, pc=PC_VALUE, extra=1)
+                    tb.load(x_base + 8 * col[j],
                             deps=(cidx,), pc=PC_INDIRECT,
                             extra=BASE_ADDR_CALC - 2, tag=j)
-                tb.store(self.y_base + 8 * i, pc=PC_OUTPUT, extra=2)
+                tb.store(y_base + 8 * i, pc=PC_OUTPUT, extra=2)
             traces.append(tb.finish())
         return traces
 

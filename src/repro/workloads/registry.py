@@ -33,6 +33,27 @@ MAIN_BENCHMARKS: dict[str, WorkloadFactory] = {
     "XRAGE": lambda: SpatterXRAGE(scale=1 << 15),
 }
 
+# Paper-scale footprints (Section 5 sizes): datasets far past every cache
+# capacity, for the ``--scale full`` runner mode.  Only the batched
+# front-end makes these tractable; entries carry the simulated-memory
+# footprint they need via ``mem_bytes``.
+def _sized(factory: WorkloadFactory, mem_bytes: int) -> WorkloadFactory:
+    def build() -> Workload:
+        wl = factory()
+        wl.mem_bytes = mem_bytes
+        return wl
+    return build
+
+
+FULL_BENCHMARKS: dict[str, WorkloadFactory] = {
+    "IS": _sized(lambda: IntegerSort(scale=1 << 25,
+                                     bucket_space=1 << 22), 1 << 29),
+    "CG": _sized(lambda: ConjugateGradient(scale=1 << 15,
+                                           columns=1 << 22), 1 << 28),
+    "XRAGE": _sized(lambda: SpatterXRAGE(scale=1 << 22,
+                                         region=1 << 24), 1 << 28),
+}
+
 # A smaller variant for tests and quick CI-style runs.
 QUICK_BENCHMARKS: dict[str, WorkloadFactory] = {
     "IS": lambda: IntegerSort(scale=1 << 12, bucket_space=1 << 18),

@@ -50,13 +50,15 @@ class SpatterXRAGE(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        indices = self.indices.tolist()
+        b_base, c_base, a_base = self.b_base, self.c_base, self.a_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                idx = tb.load(self.b_base + 8 * i, pc=PC_INDEX, extra=2,
+                idx = tb.load(b_base + 8 * i, pc=PC_INDEX, extra=2,
                               tag=i)
-                val = tb.load(self.c_base + 8 * i, pc=PC_VALUE, extra=1)
-                tb.store(self.a_base + 8 * int(self.indices[i]),
+                val = tb.load(c_base + 8 * i, pc=PC_VALUE, extra=1)
+                tb.store(a_base + 8 * indices[i],
                          deps=(idx, val), pc=PC_INDIRECT,
                          extra=BASE_ADDR_CALC, tag=i)
             traces.append(tb.finish())

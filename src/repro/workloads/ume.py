@@ -61,18 +61,24 @@ class _GradientRMW(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        # Plain-int views: per-element numpy indexing inside the emit loop
+        # costs more than the trace op it guards.
+        d_vals = self.d.tolist()
+        b_vals = self.b.tolist()
+        d_base, gx_base = self.d_base, self.gx_base
+        b_base, c_base, a_base = self.b_base, self.c_base, self.a_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                d = tb.load(self.d_base + 8 * i, pc=PC_EXTRA, extra=3)
+                d = tb.load(d_base + 8 * i, pc=PC_EXTRA, extra=3)
                 # Gradient contribution computed on the core either way.
-                tb.load(self.gx_base + 8 * i, pc=PC_VALUE, extra=6)
-                if self.d[i] >= THRESHOLD:
+                tb.load(gx_base + 8 * i, pc=PC_VALUE, extra=6)
+                if d_vals[i] >= THRESHOLD:
                     # The guard is a predicted branch: no data dependence.
-                    idx = tb.load(self.b_base + 8 * i,
+                    idx = tb.load(b_base + 8 * i,
                                   pc=PC_INDEX, extra=1, tag=i)
-                    tb.load(self.c_base + 8 * i, pc=PC_VALUE, extra=1)
-                    tb.rmw(self.a_base + 8 * int(self.b[i]), deps=(idx,),
+                    tb.load(c_base + 8 * i, pc=PC_VALUE, extra=1)
+                    tb.rmw(a_base + 8 * b_vals[i], deps=(idx,),
                            atomic=True, pc=PC_INDIRECT,
                            extra=BASE_ADDR_CALC - 2, tag=i)
                 else:
@@ -167,23 +173,30 @@ class _GradientIndirectLD(Workload):
 
     def baseline_traces(self, cores: int) -> list[Trace]:
         traces = []
+        frontier = self.frontier.tolist()
+        h_vals = self.h.tolist()
+        d_vals = self.d.tolist()
+        c_vals = self.c.tolist()
+        b_vals = self.b.tolist()
+        k_base, h_base, d_base = self.k_base, self.h_base, self.d_base
+        c_base, b_base, a_base = self.c_base, self.b_base, self.a_base
         for part in split_static(list(range(self.scale)), cores):
             tb = TraceBuilder()
             for i in part:
-                u = int(self.frontier[i])
-                tb.load(self.k_base + 8 * i, pc=PC_INDEX, extra=2)
-                hk = tb.load(self.h_base + 8 * u, pc=PC_EXTRA, extra=2)
-                for j in range(int(self.h[u]), int(self.h[u + 1])):
-                    d = tb.load(self.d_base + 8 * j, deps=(hk,),
+                u = frontier[i]
+                tb.load(k_base + 8 * i, pc=PC_INDEX, extra=2)
+                hk = tb.load(h_base + 8 * u, pc=PC_EXTRA, extra=2)
+                for j in range(h_vals[u], h_vals[u + 1]):
+                    d = tb.load(d_base + 8 * j, deps=(hk,),
                                 pc=PC_VALUE, extra=2, tag=j)
-                    if self.d[j] >= THRESHOLD:
+                    if d_vals[j] >= THRESHOLD:
                         # Speculated past the guard: no data dependence.
-                        cj = tb.load(self.c_base + 8 * j,
+                        cj = tb.load(c_base + 8 * j,
                                      pc=PC_INDEX, extra=1, tag=j)
-                        bj = tb.load(self.b_base + 8 * int(self.c[j]),
+                        bj = tb.load(b_base + 8 * c_vals[j],
                                      deps=(cj,), pc=PC_EXTRA, extra=2,
                                      tag=j)
-                        tb.load(self.a_base + 8 * int(self.b[self.c[j]]),
+                        tb.load(a_base + 8 * b_vals[c_vals[j]],
                                 deps=(bj,), pc=PC_INDIRECT,
                                 extra=BASE_ADDR_CALC - 4, tag=j)
                     else:

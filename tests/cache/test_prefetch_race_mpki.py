@@ -1,0 +1,142 @@
+"""Regression tests for the prefetch/demand race and its MPKI accounting.
+
+A DMP prefetch (:meth:`MemoryHierarchy.prefetch_into`) allocates an LLC
+MSHR entry flagged ``prefetch=True`` and installs the tag immediately
+(pollution), with the fill paying real DRAM latency.  The first demand to
+the line adjudicates the race:
+
+* fill already landed (``ready <= now``) — a *timely* prefetch: the
+  demand is a plain LLC hit, no miss charged;
+* fill still in flight — the prefetch merely absorbed the demand miss:
+  exactly *one* ``llc_misses`` is charged, the entry's flag is cleared so
+  later coalescing demands charge nothing, and the demand waits for the
+  actual fill (no free hit).
+
+These tests pin the counter arithmetic (and the resulting MPKI) for both
+outcomes, on the scalar oracle and the batched front-end alike.
+"""
+
+from dataclasses import replace
+
+from repro.cache.batched import BatchedHierarchy
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.common import SystemConfig
+from repro.common.types import HitLevel
+from repro.dram.system import DRAMSystem
+
+LINE = 64
+
+
+def _config() -> SystemConfig:
+    """One core, stride prefetchers off — every counter is scripted."""
+    cfg = SystemConfig.baseline(1)
+    return replace(cfg,
+                   l1=replace(cfg.l1, prefetcher=False),
+                   l2=replace(cfg.l2, prefetcher=False))
+
+
+def _hierarchy(cls=MemoryHierarchy):
+    cfg = _config()
+    return cls(cfg, DRAMSystem(cfg.dram))
+
+
+def test_timely_prefetch_is_a_plain_hit():
+    h = _hierarchy()
+    h.prefetch_into(0, 0, t=0)
+    assert h.stats.get("dmp_prefetch_issued") == 1
+    entry = h.llc_mshr._entries[0]
+    h.dram.drain()
+    assert entry.request.finish >= 0
+    late = entry.request.finish + 500
+    result = h.access(0, 0, is_write=False, t=late, prefetch=False)
+    assert result.level is HitLevel.LLC
+    # A hit completes at the demand's own LLC latency — not the fill's.
+    assert result.complete == late + h.config.l1.latency \
+        + h.config.l2.latency + h.config.llc.latency
+    assert h.stats.get("llc_hits") == 1
+    assert h.stats.get("llc_misses") == 0
+    assert h.mpki("llc", 1.0) == 0.0
+
+
+def test_demand_racing_inflight_prefetch_charges_exactly_one_miss():
+    h = _hierarchy()
+    h.prefetch_into(0, 0, t=0)
+    entry = h.llc_mshr._entries[0]
+    assert entry.prefetch and entry.request.finish < 0  # still in flight
+    result = h.access(0, 0, is_write=False, t=1, prefetch=False)
+    assert h.stats.get("llc_misses") == 1
+    assert not entry.prefetch  # race adjudicated, flag consumed
+    # No free hit: the demand waits for the *actual* DRAM fill.
+    assert result.complete < 0 and result.request is entry.request
+    done = result.resolve(h.dram)
+    assert done == entry.request.finish + h.config.llc.latency
+    # A second demand to the same line coalesces silently: still one miss.
+    h.access(0, 0, is_write=False, t=2, prefetch=False)
+    assert h.stats.get("llc_misses") == 1
+    assert h.mpki("llc", 1.0) == 1.0
+
+
+def test_prefetch_admission_drops():
+    h = _hierarchy()
+    h.prefetch_into(0, 0, t=0)
+    # Tag evicted while the fill is in flight: the line is still
+    # outstanding in the MSHR, so a re-prefetch is dropped, not re-issued.
+    h.llc.invalidate(0)
+    h.prefetch_into(0, 0, t=1)
+    assert h.stats.get("dmp_prefetch_dropped") == 1
+    # A line already resident in the LLC is not re-requested either.
+    h.access(0, LINE, is_write=False, t=2, prefetch=False)
+    h.dram.drain()
+    h.llc_mshr.release_resolved()
+    issued = h.stats.get("dmp_prefetch_issued")
+    h.prefetch_into(0, LINE, t=10_000)
+    assert h.stats.get("dmp_prefetch_issued") == issued
+    assert h.stats.get("dmp_prefetch_dropped") == 1
+    # A full MSHR file drops too (no demand ever stalls on a prefetch).
+    while not h.llc_mshr.full:
+        h.llc_mshr.allocate((1000 + len(h.llc_mshr)) * LINE,
+                            allocated_at=0)
+    h.prefetch_into(0, 999 * LINE, t=10_001)
+    assert h.stats.get("dmp_prefetch_dropped") == 2
+
+
+def _resolve(h, r):
+    """(level, complete) from either front-end's access return shape:
+    the scalar :class:`AccessResult` or the batched plain tuple."""
+    if isinstance(r, tuple):
+        level, _issue, complete, request, ret_lat = r
+        if complete < 0:
+            if request.finish < 0:
+                h.dram.complete(request)
+            complete = request.finish + ret_lat
+        return level, complete
+    return r.level, r.resolve(h.dram)
+
+
+def _scripted_mpki(cls):
+    """4 cold misses + 1 timely prefetch hit + 1 raced prefetch = 5
+    LLC misses; returns (counters, mpki) after the script."""
+    h = _hierarchy(cls)
+    t = 0
+    for i in range(4):  # cold demand misses, irregular stride
+        r = h.access(0, i * 7 * LINE, is_write=False, t=t, prefetch=False)
+        t = _resolve(h, r)[1] + 10
+    h.prefetch_into(0, 100 * LINE, t=t)
+    h.dram.drain()
+    h.llc_mshr.release_resolved()
+    t += 10_000  # far past the fill: timely
+    r = h.access(0, 100 * LINE, is_write=False, t=t, prefetch=False)
+    assert _resolve(h, r)[0] is HitLevel.LLC
+    h.prefetch_into(0, 200 * LINE, t=t)
+    h.access(0, 200 * LINE, is_write=False, t=t + 1, prefetch=False)  # race
+    return dict(h.stats.counters), h.mpki("llc", 1.0)
+
+
+def test_scripted_mpki_is_pinned_and_frontend_invariant():
+    scalar_counters, scalar_mpki = _scripted_mpki(MemoryHierarchy)
+    assert scalar_mpki == 5.0
+    assert scalar_counters["llc_misses"] == 5
+    assert scalar_counters["llc_hits"] == 1
+    batched_counters, batched_mpki = _scripted_mpki(BatchedHierarchy)
+    assert batched_counters == scalar_counters
+    assert batched_mpki == scalar_mpki

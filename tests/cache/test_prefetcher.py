@@ -3,9 +3,9 @@ from repro.cache import StridePrefetcher
 
 def test_needs_two_confirmations_before_prefetching():
     pf = StridePrefetcher(degree=1)
-    assert pf.observe(pc=1, addr=0) == []
-    assert pf.observe(pc=1, addr=64) == []       # stride learned
-    assert pf.observe(pc=1, addr=128) == []      # first confirmation
+    assert not pf.observe(pc=1, addr=0)
+    assert not pf.observe(pc=1, addr=64)         # stride learned
+    assert not pf.observe(pc=1, addr=128)        # first confirmation
     assert pf.observe(pc=1, addr=192) == [256]   # confident
 
 
@@ -21,17 +21,17 @@ def test_random_addresses_never_train():
     out = []
     for addr in (0, 777 * 64, 13 * 64, 999 * 64, 4 * 64, 123 * 64):
         out += pf.observe(pc=3, addr=addr)
-    assert out == []
+    assert not out
 
 
 def test_stride_change_resets_confidence():
     pf = StridePrefetcher(degree=1)
     for addr in (0, 8, 16, 24):
         pf.observe(pc=1, addr=addr)
-    assert pf.observe(pc=1, addr=32) != []
+    assert pf.observe(pc=1, addr=32)
     # Break the stride.
-    assert pf.observe(pc=1, addr=1000) == []
-    assert pf.observe(pc=1, addr=1008) == []
+    assert not pf.observe(pc=1, addr=1000)
+    assert not pf.observe(pc=1, addr=1008)
 
 
 def test_small_strides_dedupe_to_lines():

@@ -74,3 +74,73 @@ def test_coords_within_geometry(mapper):
         assert 0 <= c.bank < cfg.banks_per_group
         assert 0 <= c.column < cfg.columns
         assert 0 <= c.row < cfg.rows
+
+
+# ----------------------------------------- map_arrays (tile-granular decode)
+
+def _check_against_scalar(mapper, addrs):
+    """Every map_arrays field must equal the per-address map() decode."""
+    out = mapper.map_arrays(addrs)
+    cfg = mapper.config
+    for i, addr in enumerate(addrs):
+        c = mapper.map(int(addr))
+        assert out["channel"][i] == c.channel
+        assert out["rank"][i] == c.rank
+        assert out["bankgroup"][i] == c.bankgroup
+        assert out["bank"][i] == c.bank
+        assert out["row"][i] == c.row
+        assert out["column"][i] == c.column
+        flat = (((c.rank * cfg.bankgroups + c.bankgroup)
+                 * cfg.banks_per_group + c.bank) * cfg.channels + c.channel)
+        assert out["flat_bank"][i] == flat
+        assert out["line"][i] == mapper.line_addr(int(addr))
+
+
+def test_map_arrays_empty_tile(mapper):
+    out = mapper.map_arrays([])
+    for field in ("channel", "rank", "bankgroup", "bank", "row", "column",
+                  "flat_bank", "line"):
+        assert len(out[field]) == 0
+
+
+def test_map_arrays_single_line(mapper):
+    addr = mapper.compose(channel=1, bankgroup=2, bank=3, row=77, column=5)
+    _check_against_scalar(mapper, [addr, addr + 63])  # both byte offsets
+    out = mapper.map_arrays([addr + 63])
+    assert out["line"][0] == addr  # offset bits stripped
+
+
+def test_map_arrays_channel_boundary_straddle(mapper):
+    """Consecutive lines across the channel-interleave boundary: the tile
+    decode must split them exactly where the scalar decode does (line i
+    and line i+1 land on different channels, same row)."""
+    base = mapper.compose(row=9, column=mapper.config.columns - 1)
+    addrs = [base + k * 64 for k in range(-2, 3)]
+    _check_against_scalar(mapper, addrs)
+    out = mapper.map_arrays(addrs)
+    assert len(set(int(c) for c in out["channel"][:2])) == 2
+
+
+def test_map_arrays_flat_bank_consistent_with_coord_key(mapper):
+    """The integer flat_bank is injective over DRAMCoord's (channel, rank,
+    bankgroup, bank) tuple — the tile sort key and the controller's
+    bank-state key partition addresses identically."""
+    addrs = [i * 64 * 13 for i in range(128)]
+    out = mapper.map_arrays(addrs)
+    by_int: dict[int, tuple] = {}
+    for i, addr in enumerate(addrs):
+        key = int(out["flat_bank"][i])
+        coord_key = mapper.map(addr).flat_bank
+        assert by_int.setdefault(key, coord_key) == coord_key
+    assert len(by_int) == len({mapper.map(a).flat_bank for a in addrs})
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                min_size=0, max_size=40),
+       st.permutations(["channel", "bankgroup", "column", "bank", "rank",
+                        "row"]))
+def test_map_arrays_equals_scalar_map_any_order(line_indices, order):
+    mapper = AddressMapper(DRAMConfig(), order=tuple(order))
+    addrs = [li * 64 % (1 << mapper.total_bits) for li in line_indices]
+    _check_against_scalar(mapper, addrs)

@@ -4,9 +4,11 @@ The Scheduler protocol's signatures are what keep the controller's
 indexed fast path honest (``insert``/``take`` vs the stateless ``pick``),
 and the batched engine must keep presenting the scalar oracle's interface,
 so ``repro/dram`` plus the sweep executor (``repro/sim``), the shared
-value types (``repro/common``), and the tenancy QoS layer
-(``repro/serve``) are type-checked in CI.  Environments without mypy skip
-this test rather than fail — the CI job is the enforcement point.
+value types (``repro/common``), the tenancy QoS layer (``repro/serve``),
+and — since the front-end split — the cache hierarchy and core models
+(``repro/cache``, ``repro/core``, whose batched twins mirror the scalar
+signatures) are type-checked in CI.  Environments without mypy skip this
+test rather than fail — the CI job is the enforcement point.
 """
 
 import shutil
@@ -32,7 +34,7 @@ def test_checked_packages_typecheck():
     proc = subprocess.run(
         [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
          "src/repro/dram", "src/repro/sim", "src/repro/common",
-         "src/repro/serve"],
+         "src/repro/serve", "src/repro/cache", "src/repro/core"],
         cwd=REPO, capture_output=True, text=True,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr

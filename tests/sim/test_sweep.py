@@ -104,6 +104,39 @@ def test_key_is_stable_and_content_sensitive():
     assert other_size.key() != a.key()
 
 
+def test_key_separates_frontends_and_scales():
+    """``frontend`` and ``scale`` are explicit top-level key fields: a
+    scalar-frontend replay must never alias a batched run's cache entry
+    (they are bitwise-equal by contract, but an alias would make the
+    differential check vacuous), and quick/main runs of the same workload
+    class must never share entries."""
+    a = _tasks(modes=("baseline",))[0]
+    assert a.config.frontend == "batched"
+
+    scalar = replace(a, config=replace(a.config, frontend="scalar"))
+    assert scalar.key() != a.key()
+    # Same frontend forced twice hashes identically (no hidden state).
+    scalar2 = replace(a, config=replace(a.config, frontend="scalar"))
+    assert scalar2.key() == scalar.key()
+
+    import json
+    from unittest import mock
+
+    captured = []
+    real_dumps = json.dumps
+
+    def spy(payload, **kw):
+        captured.append(payload)
+        return real_dumps(payload, **kw)
+
+    with mock.patch.object(json, "dumps", side_effect=spy):
+        a.key()
+    (payload,) = [p for p in captured if isinstance(p, dict)
+                  and "frontend" in p]
+    assert payload["frontend"] == "batched"
+    assert payload["scale"] == "quick"
+
+
 def test_workload_fingerprint_captures_constructor_params():
     fp_a = workload_fingerprint(QUICK_BENCHMARKS["IS"]())
     fp_b = workload_fingerprint(QUICK_BENCHMARKS["IS"]())
