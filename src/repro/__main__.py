@@ -7,6 +7,8 @@ Usage::
     python -m repro run --all --quick --csv results/results.csv
     python -m repro sweep --quick --jobs 4    # parallel + cached grid
     python -m repro sweep --update-golden     # refresh golden metrics
+    python -m repro campaign 'benchmarks=IS,CG dram=ddr4,ddr5' --workers 2
+    python -m repro campaign --resume 20260808-1200 --workers 4
     python -m repro run IS --quick --trace results/trace.json
     python -m repro timeline IS --quick       # ASCII observability timeline
     python -m repro serve --tenants 2 --aggressor 1   # multi-tenant QoS
@@ -142,6 +144,54 @@ def _parser() -> argparse.ArgumentParser:
                             "pipeline-stage tottimes in "
                             "BENCH_mainsweep.json (the recorded wall_s "
                             "stays un-instrumented)")
+    sweep.add_argument("--affinity", action="store_true",
+                       help="group cache misses by workload and reuse each "
+                            "dataset's generate stage across modes (the "
+                            "campaign fabric's executor; results are "
+                            "bitwise identical)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a resumable multi-worker campaign from a declarative "
+             "spec ('benchmarks=IS,CG dram=ddr4,ddr5 tile=4k:64k "
+             "tenants=1:8'); state persists in results/.campaigns/<id> "
+             "and an interrupted campaign resumes with zero duplicated "
+             "simulation",
+    )
+    campaign.add_argument("spec", nargs="?", default="",
+                          help="spec line of key=values clauses (empty = "
+                               "the full default grid); see "
+                               "EXPERIMENTS.md 'Campaigns'")
+    campaign.add_argument("--id", dest="cid", default=None,
+                          help="campaign id (default: a timestamp); the "
+                               "manifest lives in results/.campaigns/<id>")
+    campaign.add_argument("--resume", metavar="ID",
+                          help="resume an existing campaign instead of "
+                               "creating one (only non-done tasks run)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (default: 1 = in-process "
+                               "serial)")
+    campaign.add_argument("--root", metavar="DIR", default=None,
+                          help="campaign root (default: results/.campaigns)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="ignore the run cache (every task simulates)")
+    campaign.add_argument("--cache-dir", metavar="DIR",
+                          help="run-cache location (default: "
+                               "results/.runcache or $REPRO_CACHE_DIR)")
+    campaign.add_argument("--lease-ttl", type=float, default=30.0,
+                          metavar="S",
+                          help="seconds without a heartbeat before a "
+                               "worker's task lease expires and is "
+                               "reclaimed (default: 30)")
+    campaign.add_argument("--max-retries", type=int, default=2,
+                          help="failed-task retry budget with capped "
+                               "exponential backoff (default: 2)")
+    campaign.add_argument("--dry-run", action="store_true",
+                          help="expand and print the task grid, then exit "
+                               "without creating a campaign")
+    campaign.add_argument("--no-bench", action="store_true",
+                          help="don't merge the campaign stats into "
+                               "BENCH_mainsweep.json (smoke/CI runs)")
 
     timeline = sub.add_parser(
         "timeline",
@@ -368,6 +418,11 @@ def cmd_sweep(args) -> int:
         run_main_sweep, write_golden, write_sweep_records,
     )
 
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs}); omit it for the "
+              f"REPRO_JOBS/CPU-count default", file=sys.stderr)
+        return 2
+
     if args.prune_cache:
         removed = RunCache(args.cache_dir).prune()
         print(f"pruned {removed} stale cache entr"
@@ -383,12 +438,17 @@ def cmd_sweep(args) -> int:
         benchmarks = args.benchmarks or None
         modes = tuple(args.configs)
 
-    outcome = run_main_sweep(
-        quick=quick, benchmarks=benchmarks, modes=modes, jobs=args.jobs,
-        cache=not args.no_cache, cache_dir=args.cache_dir,
-        sample_every=0 if golden_mode else args.sample_every,
-        engine=args.engine, frontend=args.frontend,
-    )
+    try:
+        outcome = run_main_sweep(
+            quick=quick, benchmarks=benchmarks, modes=modes, jobs=args.jobs,
+            cache=not args.no_cache, cache_dir=args.cache_dir,
+            sample_every=0 if golden_mode else args.sample_every,
+            engine=args.engine, frontend=args.frontend,
+            affinity=args.affinity,
+        )
+    except ValueError as exc:   # e.g. a bad REPRO_JOBS value
+        print(exc, file=sys.stderr)
+        return 2
     if args.profile and not golden_mode:
         # Instrumented second pass, strictly serial, AFTER the timed sweep
         # so the recorded wall_s stays un-instrumented.
@@ -433,6 +493,87 @@ def cmd_sweep(args) -> int:
             return 1
         print("golden-metrics check passed (bitwise identical)")
     return 0
+
+
+def cmd_campaign(args) -> int:
+    """Create or resume a campaign and drive it to completion."""
+    import time as _time
+    from pathlib import Path
+
+    from repro.obs.events import EventBus
+    from repro.sim.fabric import (
+        RetryPolicy, build_tasks, campaign_dir, campaign_status,
+        create_campaign, merge_bench_record, run_campaign,
+    )
+    from repro.sim.specs import SpecError
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1 (got {args.workers})",
+              file=sys.stderr)
+        return 2
+
+    if args.resume:
+        path = campaign_dir(args.resume, args.root)
+        if not (path / "campaign.json").exists():
+            print(f"no campaign at {path}", file=sys.stderr)
+            return 2
+        status = campaign_status(path)
+        print(f"resuming campaign {args.resume}: {status.done} done, "
+              f"{status.failed} failed, {status.pending} pending, "
+              f"{status.active} leased", file=sys.stderr)
+    else:
+        try:
+            tasks = build_tasks(args.spec)
+        except SpecError as exc:
+            print(f"bad spec: {exc}", file=sys.stderr)
+            return 2
+        if not tasks:
+            print("spec expands to zero tasks", file=sys.stderr)
+            return 2
+        if args.dry_run:
+            print(f"{len(tasks)} task(s):")
+            for task in tasks:
+                print(f"  {task.tid:<28s} [{task.kind}] group={task.group}")
+            return 0
+        cid = args.cid or _time.strftime("%Y%m%d-%H%M%S")
+        try:
+            path = create_campaign(
+                tasks, cid, root=args.root, spec_text=args.spec,
+                retry=RetryPolicy(max_retries=args.max_retries),
+                lease_ttl_s=args.lease_ttl,
+                cache=not args.no_cache, cache_dir=args.cache_dir)
+        except FileExistsError as exc:
+            print(f"{exc} (use --resume {cid} to continue it)",
+                  file=sys.stderr)
+            return 2
+        status = campaign_status(path)
+        print(f"campaign {cid}: {status.total} task(s), "
+              f"{status.done} already in the run cache, "
+              f"{status.pending} to simulate", file=sys.stderr)
+
+    bus = EventBus(trace=False)
+
+    def render(mark) -> None:
+        pending, active, done, failed, cache_hits, eta = mark
+        eta_text = f", ~{eta:.0f}s left" if eta is not None else ""
+        print(f"  [{done} done | {active} active | {pending} pending | "
+              f"{failed} failed] cache hits {cache_hits}{eta_text}",
+              file=sys.stderr)
+
+    bus.campaign_listeners.append(render)
+    summary = run_campaign(path, workers=args.workers,
+                           cache=not args.no_cache,
+                           cache_dir=args.cache_dir, bus=bus)
+    if not args.no_bench:
+        merge_bench_record(summary, Path("BENCH_mainsweep.json"))
+
+    print(f"\ncampaign {summary['id']}: {summary['done']}/{summary['total']} "
+          f"done, {summary['failed']} failed "
+          f"({summary['cache_hits']} cache hit(s), "
+          f"{summary['sim_wall_s']}s simulating, "
+          f"{summary.get('wall_s', 0.0)}s wall)")
+    print(f"report: {path / 'summary.md'}")
+    return 1 if summary["failed"] else 0
 
 
 def cmd_profile(args) -> int:
@@ -571,6 +712,8 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "timeline":

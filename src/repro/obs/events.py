@@ -33,6 +33,14 @@ Event streams recorded when ``trace=True``:
     start, end, lines)`` tile lifecycle phases (fill, drain, response,
     writeback, stream-in, stream-out, alu); ``(cycle, entries, lines)``
     Row Table occupancy at each drain.
+``campaign_marks``
+    ``(pending, active, done, failed, cache_hits, eta_s)`` campaign-fabric
+    progress snapshots.  The one documented exception to the
+    simulated-time rule: campaign progress is a statement about the
+    *executor*, not the model, so ``eta_s`` is wall-clock seconds.  The
+    stream is excluded from :meth:`event_count` (it would perturb the
+    trace-event totals runs record) and fans out to ``campaign_listeners``
+    for live CLI rendering.
 """
 
 from __future__ import annotations
@@ -84,6 +92,10 @@ class EventBus:
         self.dx_spans: list[tuple] = []
         self.tile_phases: list[tuple] = []
         self.rt_fills: list[tuple] = []
+        self.campaign_marks: list[tuple] = []
+        #: Callables invoked with each progress mark tuple as it lands —
+        #: the campaign CLI hangs its live status line here.
+        self.campaign_listeners: list = []
 
     # ------------------------------------------------------------ attachment
 
@@ -167,6 +179,15 @@ class EventBus:
             self.rt_fills.append((cycle, entries, lines))
         if self.timeline is not None:
             self.timeline.on_rt_fill(cycle, entries, lines)
+
+    def campaign_progress(self, pending: int, active: int, done: int,
+                          failed: int, cache_hits: int = 0,
+                          eta_s: float | None = None) -> None:
+        """One campaign-fabric progress snapshot (wall-clock ``eta_s``)."""
+        mark = (pending, active, done, failed, cache_hits, eta_s)
+        self.campaign_marks.append(mark)
+        for listener in self.campaign_listeners:
+            listener(mark)
 
     # -------------------------------------------------------------- summary
 

@@ -215,8 +215,9 @@ class RunCache:
             tmp.unlink(missing_ok=True)    # only if the rename never ran
 
     def prune(self) -> int:
-        """Delete stale entries (older model versions, orphaned temp files
-        from killed writers); returns the number removed."""
+        """Delete stale entries (older model versions, corrupt files left
+        by killed writers, orphaned temp files); returns the number
+        removed."""
         current = model_version()
         removed = 0
         if not self.directory.exists():
@@ -226,7 +227,10 @@ class RunCache:
                 if json.loads(path.read_text()).get("model") != current:
                     path.unlink()
                     removed += 1
-            except (json.JSONDecodeError, OSError):
+            except Exception:
+                # Unreadable, unparseable, or parseable-but-not-a-record
+                # (a killed worker can leave literally anything): all are
+                # equally dead entries.
                 path.unlink(missing_ok=True)
                 removed += 1
         for path in self.directory.glob("*.tmp"):
@@ -237,8 +241,14 @@ class RunCache:
 
 # ---------------------------------------------------------------- execution
 
-def execute_task(task: SweepTask) -> tuple[RunResult, float]:
+def execute_task(task: SweepTask,
+                 workload=None) -> tuple[RunResult, float]:
     """Run one task from scratch; returns (result, wall seconds).
+
+    ``workload`` lets the campaign fabric pass a prepared instance (with
+    the generate stage snapshotted by its :class:`GenerateCache`); the
+    default builds a fresh one from the registry, which is the path every
+    golden metric is pinned against.
 
     The cyclic GC is paused for the duration of the run: the simulators
     allocate millions of short-lived records (ops, results, heap nodes)
@@ -249,7 +259,8 @@ def execute_task(task: SweepTask) -> tuple[RunResult, float]:
     import gc
     from repro.sim.runner import run_baseline, run_dx100
     t0 = time.perf_counter()
-    workload = task.factory()()
+    if workload is None:
+        workload = task.factory()()
     obs = None
     if task.sample_every:
         from repro.obs.events import EventBus
@@ -399,7 +410,16 @@ def default_jobs() -> int:
     ``os.cpu_count()``."""
     env = os.environ.get("REPRO_JOBS")
     if env:
-        return max(1, int(env))
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer (got {env!r})"
+            ) from None
+        if jobs < 1:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer (got {env!r})")
+        return jobs
     # Prefer the scheduling affinity mask: in a container/cgroup the
     # process may be pinned to far fewer CPUs than the host exposes, and
     # os.cpu_count() reports the host, oversubscribing the pool.
@@ -418,15 +438,23 @@ def _pool_context():
 def run_sweep(tasks: list[SweepTask], jobs: int | None = None,
               cache: bool = True,
               cache_dir: str | Path | None = None,
-              progress=None) -> SweepOutcome:
+              progress=None, affinity: bool = False) -> SweepOutcome:
     """Execute ``tasks``, fanning cache misses out over worker processes.
 
     ``jobs=None`` uses ``REPRO_JOBS`` or the CPU count; ``jobs=1`` runs
     strictly serially in-process (no pool), which the determinism tests
     compare against the parallel path.  ``progress`` is an optional
-    ``callable(TaskRun)`` invoked as each task settles.
+    ``callable(TaskRun)`` invoked as each task settles.  ``affinity``
+    delegates miss execution to the campaign fabric's workload-affinity
+    executor (:func:`repro.sim.fabric.run_grouped`): tasks sharing a
+    dataset run on one worker with the generate stage snapshotted once
+    and restored per run — bitwise identical results, less cold wall.
     """
-    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if jobs is not None and jobs < 1:
+        raise ValueError(
+            f"sweep needs at least one job, got {jobs} "
+            f"(use jobs=None for the REPRO_JOBS/CPU-count default)")
+    jobs = default_jobs() if jobs is None else jobs
     store = RunCache(cache_dir) if cache else None
     t0 = time.perf_counter()
 
@@ -443,7 +471,10 @@ def run_sweep(tasks: list[SweepTask], jobs: int | None = None,
             misses.append(i)
 
     if misses:
-        if jobs == 1 or len(misses) == 1:
+        if affinity:
+            from repro.sim.fabric import run_grouped
+            fresh = run_grouped([(i, tasks[i]) for i in misses], jobs)
+        elif jobs == 1 or len(misses) == 1:
             fresh = [_worker((i, tasks[i])) for i in misses]
         else:
             ctx = _pool_context()
@@ -521,13 +552,15 @@ def run_main_sweep(quick: bool = False,
                    results_dir: str | Path | None = None,
                    sample_every: int = 0,
                    engine: str | None = None,
-                   frontend: str | None = None) -> SweepOutcome:
+                   frontend: str | None = None,
+                   affinity: bool = False) -> SweepOutcome:
     """Run the main-evaluation grid and emit the structured JSON records
     (``results/sweep.json`` + ``BENCH_mainsweep.json``)."""
     tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes,
                              sample_every=sample_every, engine=engine,
                              frontend=frontend)
-    outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir,
+                        affinity=affinity)
     outcome.extras["quick"] = quick
     if results_dir is not None:
         write_sweep_records(outcome, results_dir)
@@ -547,7 +580,17 @@ def write_sweep_records(outcome: SweepOutcome,
     sweep_path.write_text(json.dumps(outcome.to_json_dict(), indent=2,
                                      sort_keys=True) + "\n")
     bench_path = results_dir.parent / "BENCH_mainsweep.json"
-    bench_path.write_text(json.dumps(outcome.bench_record(), indent=2,
+    record = outcome.bench_record()
+    # The campaign fabric folds its own A/B block into this file under
+    # "campaign" (see repro.sim.fabric.merge_bench_record); a plain sweep
+    # re-recording the grid must not erase it.
+    try:
+        previous = json.loads(bench_path.read_text())
+        if "campaign" in previous and "campaign" not in record:
+            record["campaign"] = previous["campaign"]
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    bench_path.write_text(json.dumps(record, indent=2,
                                      sort_keys=True) + "\n")
 
 

@@ -1,0 +1,102 @@
+"""Chaos: SIGKILL a campaign worker mid-task and prove the fabric's
+crash-recovery story — the lease expires, exactly one reclaimer wins, and
+the resumed campaign's metrics are bitwise identical to an uninterrupted
+run with zero duplicated simulation."""
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.sim.fabric import (
+    ENV_TEST_SLEEP, build_tasks, campaign_status, create_campaign,
+    reclaim_expired, worker_loop,
+)
+
+SPEC = "benchmarks=IS modes=baseline,dx100 scale=quick"
+VICTIM_TID = "IS.quick.dx100"    # claimed second (tid order within group)
+
+
+def _results(path):
+    return {p.stem: json.loads(p.read_text())["result"]
+            for p in (path / "done").glob("*.json")}
+
+
+def _wait_for(predicate, timeout_s=60.0, period_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(period_s)
+    return False
+
+
+@pytest.mark.skipif("fork" not in multiprocessing.get_all_start_methods(),
+                    reason="needs fork for a killable worker process")
+def test_sigkilled_worker_lease_expires_and_campaign_resumes_bitwise(
+        tmp_path, monkeypatch):
+    ttl = 1.0
+    path = create_campaign(build_tasks(SPEC), "chaos",
+                           root=tmp_path / "camps", spec_text=SPEC,
+                           cache=False, lease_ttl_s=ttl)
+
+    # The victim stalls inside the second task's execution window (the
+    # heartbeat keeps its lease live while it sleeps) until SIGKILLed.
+    monkeypatch.setenv(ENV_TEST_SLEEP, f"{VICTIM_TID}:600")
+    ctx = multiprocessing.get_context("fork")
+    victim = ctx.Process(target=worker_loop, args=(str(path),),
+                         kwargs={"worker": "victim", "cache": False})
+    victim.start()
+    lease = path / "active" / f"{VICTIM_TID}@victim"
+    try:
+        assert _wait_for(lease.exists), "victim never claimed the task"
+        assert campaign_status(path).done == 1   # first task finished
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.join(timeout=10.0)
+    monkeypatch.delenv(ENV_TEST_SLEEP)
+
+    # The lease outlives the worker until the TTL lapses without a
+    # heartbeat; racing reclaimers convert it into exactly one token.
+    assert lease.exists()
+    assert _wait_for(
+        lambda: time.time() - lease.stat().st_mtime > ttl,
+        timeout_s=ttl * 20)
+    reclaimed: list[str] = []
+    barrier = threading.Barrier(2)
+
+    def reclaim():
+        barrier.wait()
+        reclaimed.extend(reclaim_expired(path, lease_ttl_s=ttl))
+
+    threads = [threading.Thread(target=reclaim) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reclaimed == [VICTIM_TID]
+    assert (path / "queue" / VICTIM_TID).exists()
+    assert not lease.exists()
+
+    # Resume: only the reclaimed task simulates; the dead worker's
+    # finished record survives byte-for-byte.
+    survivor = json.loads(
+        (path / "done" / "IS.quick.baseline.json").read_text())
+    assert survivor["worker"] == "victim"
+    out = worker_loop(path, worker="medic", cache=False)
+    assert out.executed == 1
+    status = campaign_status(path)
+    assert status.finished and status.done == 2 and status.failed == 0
+    assert json.loads(
+        (path / "done" / "IS.quick.baseline.json").read_text()) == survivor
+
+    # And the interrupted-then-resumed campaign's metrics are bitwise
+    # identical to a never-interrupted one.
+    reference = create_campaign(build_tasks(SPEC), "reference",
+                                root=tmp_path / "camps", cache=False)
+    worker_loop(reference, worker="ref", cache=False)
+    assert _results(path) == _results(reference)

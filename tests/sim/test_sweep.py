@@ -236,3 +236,59 @@ def test_default_jobs_prefers_scheduling_affinity(monkeypatch):
 
     monkeypatch.setenv("REPRO_JOBS", "7")
     assert default_jobs() == 7
+
+
+def test_prune_deletes_corrupt_entries_left_by_killed_workers(tmp_path):
+    """A SIGKILLed worker can leave a cache file holding anything —
+    truncated JSON, or JSON that parses but is not a record.  prune must
+    sweep them all without crashing, and keep the valid entry."""
+    task = _tasks(modes=("baseline",))[0]
+    run_sweep([task], jobs=1, cache=True, cache_dir=tmp_path)
+    store = RunCache(tmp_path)
+
+    (tmp_path / "deadbeef1.json").write_text('{"model": "x", "trunc')
+    (tmp_path / "deadbeef2.json").write_text("null")
+    (tmp_path / "deadbeef3.json").write_text("[1, 2, 3]")
+    assert store.prune() == 3
+    assert sorted(p.name for p in tmp_path.glob("*.json")) == \
+        [f"{task.key()}.json"]
+    assert store.load(task.key()) is not None
+
+
+def test_run_sweep_rejects_nonpositive_jobs():
+    task = _tasks(modes=("baseline",))[0]
+    with pytest.raises(ValueError, match="at least one job"):
+        run_sweep([task], jobs=0, cache=False)
+    with pytest.raises(ValueError, match="at least one job"):
+        run_sweep([task], jobs=-2, cache=False)
+
+
+def test_default_jobs_rejects_bad_repro_jobs(monkeypatch):
+    from repro.sim.sweep import default_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+
+
+def test_sweep_cli_rejects_jobs_zero_with_a_clear_message(capsys):
+    from repro.__main__ import main
+
+    assert main(["sweep", "--jobs", "0", "--quick", "IS"]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs must be >= 1" in err
+
+
+def test_sweep_cli_reports_bad_repro_jobs(monkeypatch, capsys, tmp_path):
+    from repro.__main__ import main
+
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["sweep", "--quick", "IS", "--configs", "baseline"]) == 2
+    assert "REPRO_JOBS must be a positive integer" in capsys.readouterr().err
