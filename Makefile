@@ -7,8 +7,8 @@ RUN_REPRO = PYTHONPATH=src $(PYTHON) -m repro
 SWEEP_JOBS = $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: install test audit sweep sweep-quick campaign campaign-smoke \
-        golden-check golden-update profile timeline trace-smoke bench \
-        bench-quick figures examples clean
+        golden-check golden-update memtech remote-smoke profile timeline \
+        trace-smoke bench bench-quick figures examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -56,6 +56,21 @@ golden-check:
 
 golden-update:
 	$(RUN_REPRO) sweep --update-golden $(SWEEP_JOBS)
+
+# Regenerate the memory-technology comparison table + latency sweep
+# (results/memory_technology.{txt,json}): local DDR4/DDR5 vs the modeled
+# CXL far-memory link, with the monotone speedup-vs-latency assertions.
+memtech:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_memory_technology.py --benchmark-only
+
+# The CI far-memory smoke: a tiny cxl run end to end through the CLI,
+# then the memory-technology golden grid replayed on the scalar DRAM
+# oracle — both engines must reproduce the committed file bitwise.
+remote-smoke:
+	$(RUN_REPRO) run IS --quick --dram cxl --configs baseline dx100
+	PYTHONPATH=src $(PYTHON) -m repro.sim.memtech --check
+	PYTHONPATH=src $(PYTHON) -m repro.sim.memtech --check --engine scalar
 
 # Where does the wall-clock go?  cProfile hotspots + per-component
 # attribution + stage timers for one run (PROFILE_ARGS to customize, e.g.

@@ -26,6 +26,7 @@ import sys
 from dataclasses import replace
 
 from repro.common import SystemConfig
+from repro.common.config import DRAM_PRESETS, dram_preset
 from repro.dx100.area import area_power
 from repro.sim import run_baseline, run_dx100
 from repro.sim.report import comparison_table, to_csv
@@ -87,6 +88,10 @@ def _parser() -> argparse.ArgumentParser:
                      help="force the simulation front-end for every run "
                           "(default: the config's front-end, i.e. batched; "
                           "scalar replays the per-op cache/core oracle)")
+    run.add_argument("--dram", choices=sorted(DRAM_PRESETS), default=None,
+                     help="memory technology preset (default: ddr4; cxl "
+                          "puts the pool behind the modeled far-memory "
+                          "link)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -138,6 +143,11 @@ def _parser() -> argparse.ArgumentParser:
                             "(scalar replays the per-op cache/core oracle — "
                             "combine with --check-golden for the front-end "
                             "differential check)")
+    sweep.add_argument("--dram", choices=sorted(DRAM_PRESETS), default=None,
+                       help="memory technology preset for every task "
+                            "(default: ddr4; cxl puts the pool behind the "
+                            "modeled far-memory link; ignored under "
+                            "--check-golden/--update-golden, which pin ddr4)")
     sweep.add_argument("--profile", action="store_true",
                        help="after the timed sweep, re-run the grid once "
                             "under cProfile and record per-component and "
@@ -206,6 +216,10 @@ def _parser() -> argparse.ArgumentParser:
     timeline.add_argument("--quick", action="store_true",
                           help="use the reduced dataset sizes")
     timeline.add_argument("--cores", type=int, default=4)
+    timeline.add_argument("--dram", choices=sorted(DRAM_PRESETS),
+                          default=None,
+                          help="DRAM preset (e.g. cxl adds the link-queue "
+                               "sparkline; default: the mode's own)")
     timeline.add_argument("--sample-every", type=int, default=1000,
                           metavar="N",
                           help="sampling period in cycles (default: 1000)")
@@ -318,6 +332,8 @@ def cmd_run(args) -> int:
         runs = {}
         for config_name in configs:
             config = CONFIG_BUILDERS[config_name](args.cores)
+            if args.dram is not None:
+                config = replace(config, dram=dram_preset(args.dram))
             if args.audit:
                 config = replace(config,
                                  dram=replace(config.dram, audit=True))
@@ -357,6 +373,8 @@ def cmd_run(args) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         for name in names:
             config = CONFIG_BUILDERS[configs[0]](args.cores)
+            if args.dram is not None:
+                config = replace(config, dram=dram_preset(args.dram))
             system = SimSystem(config)
             wl = registry[name]()
             wl.generate(system.hostmem)
@@ -444,6 +462,7 @@ def cmd_sweep(args) -> int:
             cache=not args.no_cache, cache_dir=args.cache_dir,
             sample_every=0 if golden_mode else args.sample_every,
             engine=args.engine, frontend=args.frontend,
+            dram=None if golden_mode else args.dram,
             affinity=args.affinity,
         )
     except ValueError as exc:   # e.g. a bad REPRO_JOBS value
@@ -457,7 +476,7 @@ def cmd_sweep(args) -> int:
         print("profiling pass (serial, instrumented)...", file=sys.stderr)
         tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks,
                                  modes=modes, engine=args.engine,
-                                 frontend=args.frontend)
+                                 frontend=args.frontend, dram=args.dram)
         outcome.extras.update(profile_tasks(tasks))
     write_sweep_records(outcome, Path("results"), sweep_json=args.json)
 
@@ -611,6 +630,8 @@ def cmd_timeline(args) -> int:
         print("--sample-every must be positive", file=sys.stderr)
         return 2
     config = CONFIG_BUILDERS[args.mode](args.cores)
+    if args.dram is not None:
+        config = replace(config, dram=dram_preset(args.dram))
     wl = registry[args.benchmark]()
     obs = EventBus(trace=bool(args.trace), sample_every=args.sample_every)
     if args.mode == "dx100":

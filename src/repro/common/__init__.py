@@ -7,6 +7,7 @@ from repro.common.config import (
     DDR4Timing,
     DRAMConfig,
     DX100Config,
+    RemoteLinkConfig,
     SystemConfig,
     ns_to_cycles,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "HitLevel",
     "Interval",
     "MemOp",
+    "RemoteLinkConfig",
     "Stats",
     "SystemConfig",
     "geomean",

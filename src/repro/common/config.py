@@ -96,6 +96,39 @@ class DDR4Timing:
 
 
 @dataclass(frozen=True)
+class RemoteLinkConfig:
+    """A far-memory (CXL/RDMA-style) link in front of part of the pool.
+
+    Disabled by default: every address is local DDR and nothing in either
+    DRAM engine changes.  When ``enabled``, addresses selected by
+    ``placement`` live in a far pool reached through a serial link that
+    adds one-way ``latency`` each direction, serializes 64B payloads at
+    ``gbps``, and allows at most ``queue_depth`` line transfers in flight
+    on the return path (a read-return buffer).  The far pool itself reuses
+    the local DRAM timing model — the link is purely additive, which keeps
+    the scalar oracle and the batched engine bitwise identical (they share
+    one link state object and service requests in the same order).
+
+    ``placement`` selects which lines are far:
+
+    * ``"all"`` — the whole pool is far (the headline ``cxl`` preset);
+    * ``"range"`` — far iff ``addr >= far_base`` (per-array placement:
+      workloads allocate arrays contiguously from the heap base);
+    * ``"hash"`` — a deterministic per-line hash sends ``far_fraction``
+      of lines far (interleaved local/far, no layout knowledge needed).
+    """
+
+    enabled: bool = False
+    latency: int = 400        # one-way propagation, CPU cycles (~125 ns)
+    gbps: float = 32.0        # per-direction payload bandwidth (GB/s)
+    queue_depth: int = 64     # in-flight line transfers on the return path
+    congestion: bool = False  # occupancy-proportional extra queueing delay
+    placement: str = "all"    # all | range | hash
+    far_base: int = 0         # placement="range": far iff addr >= far_base
+    far_fraction: float = 1.0  # placement="hash": fraction of lines far
+
+
+@dataclass(frozen=True)
 class DRAMConfig:
     """DRAM organization (Table 3: 2 channels of DDR4-3200, 51.2 GB/s)."""
 
@@ -118,6 +151,11 @@ class DRAMConfig:
     #: command streams and metrics.
     engine: str = "batched"
     timing: DDR4Timing = field(default_factory=DDR4Timing)
+    #: Far-memory tier: when ``remote.enabled``, addresses selected by its
+    #: placement rule pay link latency/serialization on top of the (shared)
+    #: DRAM timing model.  Off by default — a disabled link is bitwise
+    #: invisible to both engines.
+    remote: RemoteLinkConfig = field(default_factory=RemoteLinkConfig)
 
     @property
     def banks_total(self) -> int:
@@ -168,6 +206,41 @@ def ddr5_6400() -> "DRAMConfig":
     )
     return DRAMConfig(channels=4, bankgroups=8, banks_per_group=4,
                       timing=timing)
+
+
+def cxl_remote(latency: int = 400, gbps: float = 32.0,
+               queue_depth: int = 64) -> "DRAMConfig":
+    """A DDR4 pool entirely behind a CXL-style expander link.
+
+    The defaults model a CXL 2.0 x8 port: ~125 ns one-way propagation
+    (400 CPU cycles), 32 GB/s per direction, and a 64-entry read-return
+    buffer.  The device-side media keeps the local DDR4-3200 timing; the
+    link costs are purely additive (see :class:`RemoteLinkConfig`).
+    """
+    return DRAMConfig(remote=RemoteLinkConfig(
+        enabled=True, latency=latency, gbps=gbps, queue_depth=queue_depth))
+
+
+#: The single registry of DRAM backend presets.  Everything that accepts a
+#: ``dram=`` name — the spec DSL (:mod:`repro.sim.specs`), the sweep/run
+#: CLI, the serve fabric — resolves through here, so adding a backend is
+#: one entry and every error message enumerates the same set.
+DRAM_PRESETS = {
+    "ddr4": DRAMConfig,
+    "ddr5": ddr5_6400,
+    "cxl": cxl_remote,
+}
+
+
+def dram_preset(name: str) -> "DRAMConfig":
+    """Build the named DRAM backend preset, erroring with the valid set."""
+    try:
+        builder = DRAM_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown DRAM preset {name!r}; valid presets: "
+            f"{', '.join(sorted(DRAM_PRESETS))}") from None
+    return builder()
 
 
 @dataclass(frozen=True)

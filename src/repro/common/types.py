@@ -143,6 +143,11 @@ class DRAMRequest:
     start: int = -1
     finish: int = -1
     row_hit: bool = False
+    # Far-memory tier: stamped at system enqueue when the address lives
+    # behind the remote link (:mod:`repro.dram.remote`); the servicing
+    # engine then routes the completion through the link's return path.
+    # False whenever the link is disabled, leaving both engines untouched.
+    far: bool = False
 
     @property
     def done(self) -> bool:

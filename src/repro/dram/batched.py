@@ -174,6 +174,10 @@ class BatchedController:
         self.command_observers: list = []
         self.command_log: list[tuple] = []
         self.command_log_limit = command_log_limit
+        # Far-memory link (:class:`repro.dram.remote.RemoteLink`), shared
+        # across channels; assigned by :class:`~repro.dram.system.DRAMSystem`
+        # when the remote tier is enabled.  None = all addresses are local.
+        self.remote = None
 
     # ------------------------------------------------------------- observers
 
@@ -606,6 +610,13 @@ class BatchedController:
                 bank.pre_ready = t
             req.finish = t_col + self._tCL + self._tBL
         req.start = t_col
+        if req.far:
+            # Far-memory tier: route the completion through the shared
+            # link's return path (same call site in both engines, so the
+            # link state evolves identically — the bitwise guarantee).
+            remote = self.remote
+            if remote is not None:
+                req.finish = remote.deliver(req.finish, is_write)
         if self._closed_page:
             # Auto-precharge (RDA/WRA): close the row as soon as legal.
             t_pre = bank.pre_ready

@@ -82,6 +82,10 @@ class MemoryController:
         # ``command_log`` recorder all attach here.
         self.command_observers: list = []
         self.command_log: list[tuple] = []
+        # Far-memory link (:class:`repro.dram.remote.RemoteLink`), shared
+        # across channels; assigned by :class:`~repro.dram.system.DRAMSystem`
+        # when the remote tier is enabled.  None = all addresses are local.
+        self.remote = None
         # Bound on ``command_log`` growth (None = unlimited, the default).
         # A full sweep with ``record_commands`` on accumulates hundreds of
         # thousands of command tuples per channel; with a limit the log
@@ -354,6 +358,13 @@ class MemoryController:
             bank.column_read(t_col, timing)
             req.finish = t_col + timing.tCL + timing.tBL
         req.start = t_col
+        if req.far:
+            # Far-memory tier: route the completion through the shared
+            # link's return path (same call site in both engines, so the
+            # link state evolves identically — the bitwise guarantee).
+            remote = self.remote
+            if remote is not None:
+                req.finish = remote.deliver(req.finish, req.is_write)
         if self.config.page_policy == "closed":
             # Auto-precharge (RDA/WRA): close the row as soon as legal.
             # Must follow column_read/column_write so pre_ready reflects

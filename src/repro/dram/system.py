@@ -11,6 +11,7 @@ from repro.dram.address import AddressMapper
 from repro.dram.audit import CommandAuditor
 from repro.dram.batched import BatchedController
 from repro.dram.controller import MemoryController
+from repro.dram.remote import RemoteLink
 
 
 class DRAMSystem:
@@ -46,6 +47,14 @@ class DRAMSystem:
             controller_cls(ch, self.config, self.mapper)
             for ch in range(self.config.channels)
         ]
+        # Far-memory tier: one link shared by every channel (one physical
+        # port), referenced by each controller for the return traversal.
+        self.remote: RemoteLink | None = None
+        if self.config.remote.enabled:
+            self.remote = RemoteLink(self.config.remote,
+                                     self.config.line_bytes)
+            for ctrl in self.controllers:
+                ctrl.remote = self.remote
         self.auditor: CommandAuditor | None = None
         if self.config.audit if audit is None else audit:
             self.auditor = CommandAuditor(self.config.timing,
@@ -69,6 +78,10 @@ class DRAMSystem:
         return self.mapper.map(addr).channel
 
     def enqueue(self, req: DRAMRequest):
+        remote = self.remote
+        if remote is not None and remote.is_far(req.addr):
+            req.far = True
+            req.arrival = remote.inject(req.arrival, req.is_write)
         coord = self.mapper.map(req.addr)
         req.channel = coord.channel
         ctrl = self.controllers[coord.channel]
@@ -87,6 +100,10 @@ class DRAMSystem:
         untagged); the tag never changes how the request is scheduled.
         """
         req = DRAMRequest(addr, is_write, arrival, meta, -1, tenant)
+        remote = self.remote
+        if remote is not None and remote.is_far(addr):
+            req.far = True
+            req.arrival = remote.inject(arrival, is_write)
         if decoded is None:
             # ``mapper.map`` with the memo-hit path inlined (one call per
             # demand miss; the cache hits far more often than it computes).
@@ -152,6 +169,8 @@ class DRAMSystem:
         stats = Stats()
         for ctrl in self.controllers:
             stats.merge(ctrl.stats)
+        if self.remote is not None:
+            stats.merge(self.remote.stats)
         return stats
 
     def tenant_counters(self, tenant: int) -> dict[str, int]:

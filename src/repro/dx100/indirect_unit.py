@@ -247,6 +247,16 @@ class IndirectUnit:
                                        tenant=self.tenant)
                 access = _DirectAccess(req)
             out.append((pline, access))
+        remote = self.dram.remote
+        if remote is not None and out:
+            # Far-memory accounting only: counts the drained lines that
+            # live behind the link (the batch DX100 pipelines through it
+            # while the baseline pays per-miss round trips).  Never alters
+            # timing — the system enqueue already did the link traversal.
+            far = sum(1 for pline, _ in out
+                      if remote.is_far(pline.line_addr))
+            if far:
+                self.stats.add("indirect_far_lines", far)
         if obs is not None and out:
             end = t + (len(out) - 1) // drain_rate + 1
             obs.tile_phase(tile, "drain", t, end, lines=len(out))

@@ -33,6 +33,11 @@ Event streams recorded when ``trace=True``:
     start, end, lines)`` tile lifecycle phases (fill, drain, response,
     writeback, stream-in, stream-out, alu); ``(cycle, entries, lines)``
     Row Table occupancy at each drain.
+``link_marks``
+    ``(cycle, inflight, wait)`` far-memory link return-path deliveries:
+    the delivery cycle, the read-return ring occupancy at grant time, and
+    the cycles the response waited for the link (queueing, not
+    propagation).
 ``campaign_marks``
     ``(pending, active, done, failed, cache_hits, eta_s)`` campaign-fabric
     progress snapshots.  The one documented exception to the
@@ -92,6 +97,7 @@ class EventBus:
         self.dx_spans: list[tuple] = []
         self.tile_phases: list[tuple] = []
         self.rt_fills: list[tuple] = []
+        self.link_marks: list[tuple] = []
         self.campaign_marks: list[tuple] = []
         #: Callables invoked with each progress mark tuple as it lands —
         #: the campaign CLI hangs its live status line here.
@@ -108,6 +114,8 @@ class EventBus:
                 scheduler.obs = _SchedulerProbe(self, ctrl.channel)
         if self.timeline is not None:
             self.timeline.watch(system)
+        if system.dram.remote is not None:
+            system.dram.remote.obs = self
         hierarchy = system.hierarchy
         hierarchy.obs = self
         for mshr in (*hierarchy.l1_mshr, *hierarchy.l2_mshr,
@@ -180,6 +188,15 @@ class EventBus:
         if self.timeline is not None:
             self.timeline.on_rt_fill(cycle, entries, lines)
 
+    def link_transfer(self, cycle: int, inflight: int, wait: int) -> None:
+        """One far-memory link return delivery at ``cycle`` (``inflight``
+        = read-return ring occupancy at grant, ``wait`` = cycles queued
+        for the link beyond the far-side DRAM finish)."""
+        if self.trace:
+            self.link_marks.append((cycle, inflight, wait))
+        if self.timeline is not None:
+            self.timeline.on_link(cycle, inflight, wait)
+
     def campaign_progress(self, pending: int, active: int, done: int,
                           failed: int, cache_hits: int = 0,
                           eta_s: float | None = None) -> None:
@@ -197,7 +214,7 @@ class EventBus:
                 + len(self.core_misses) + len(self.llc_misses)
                 + len(self.mshr_marks) + len(self.starvations)
                 + len(self.dx_spans) + len(self.tile_phases)
-                + len(self.rt_fills))
+                + len(self.rt_fills) + len(self.link_marks))
 
     def summary(self) -> dict:
         """JSON-serializable digest for ``RunResult.extra``.
@@ -209,6 +226,8 @@ class EventBus:
         if self.trace:
             out["obs_trace_events"] = self.event_count()
             out["obs_starvations"] = len(self.starvations)
+            if self.link_marks:
+                out["obs_link_transfers"] = len(self.link_marks)
         if self.timeline is not None:
             out.update(self.timeline.summary())
         return out

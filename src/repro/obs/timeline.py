@@ -41,6 +41,10 @@ class Timeline:
         self.rt_fills: list[tuple[int, int, int]] = []
         #: DX100 tile drain windows: (tile, start, end, lines).
         self.drains: list[tuple[int, int, int, int]] = []
+        #: Far-memory link: {bucket: max return-ring occupancy seen}.
+        self.link: dict[int, int] = {}
+        #: Far-memory link: {bucket: total return-queue wait cycles}.
+        self.link_wait: dict[int, int] = {}
         self._controllers: dict[int, object] = {}
         self._buffer_cap = 32
         self._peak_channel_gbps = 0.0
@@ -117,6 +121,14 @@ class Timeline:
         if occupancy > series.get(bucket, -1):
             series[bucket] = occupancy
 
+    def on_link(self, cycle: int, inflight: int, wait: int) -> None:
+        """Track far-memory link occupancy high-water marks and queueing
+        wait per window."""
+        bucket = cycle // self.every
+        if inflight > self.link.get(bucket, -1):
+            self.link[bucket] = inflight
+        self.link_wait[bucket] = self.link_wait.get(bucket, 0) + int(wait)
+
     def on_rt_fill(self, cycle: int, entries: int, lines: int) -> None:
         """Record Row Table occupancy at a drain point."""
         self.rt_fills.append((int(cycle), int(entries), int(lines)))
@@ -161,6 +173,9 @@ class Timeline:
         llc = self.mshr.get("llc_mshr")
         if llc:
             out["timeline_llc_mshr_max"] = max(llc.values())
+        if self.link:
+            out["timeline_link_inflight_max"] = max(self.link.values())
+            out["timeline_link_wait_cycles"] = sum(self.link_wait.values())
         return out
 
 
@@ -258,4 +273,16 @@ def render_timeline(timeline: Timeline, width: int = 72) -> str:
     llc = timeline.mshr.get("llc_mshr")
     if llc:
         lines.append(f"llc mshr occupancy: peak {max(llc.values())}")
+    if timeline.link:
+        link_row: list[float | None] = [None] * n
+        for b, occ in timeline.link.items():
+            if lo_b <= b <= hi_b:
+                link_row[b - lo_b] = float(occ)
+        present = [v for v in link_row if v is not None]
+        hi = max(present) if present else 1.0
+        lines.append(f"  {'link queue':>10s} "
+                     f"|{_sparkline(_downsample(link_row, width), 0.0, hi)}|")
+        lines.append(f"far-memory link: peak {int(hi)} return transfer(s) "
+                     f"in flight, "
+                     f"{sum(timeline.link_wait.values())} queue-wait cycles")
     return "\n".join(lines)

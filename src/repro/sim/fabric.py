@@ -548,10 +548,10 @@ def execute_campaign_task(task: CampaignTask, gen: GenerateCache,
         assert task.serve is not None
         from dataclasses import replace as _replace
 
-        from repro.common.config import DRAMConfig, ddr5_6400
+        from repro.common.config import dram_preset
         from repro.serve import make_tenants, serve_run
         p = task.serve
-        config = ddr5_6400() if p.dram == "ddr5" else DRAMConfig()
+        config = dram_preset(p.dram)
         config = _replace(config, engine=p.engine)
         t0 = perf_counter()
         specs = make_tenants(p.tenants, tiles=p.tiles,

@@ -50,6 +50,12 @@ def collect(system: SimSystem, workload: str, config_name: str,
     extra["dram_row_hits"] = dram_stats.get("row_hits")
     extra["dram_row_conflicts"] = dram_stats.get("row_conflicts")
     extra["dram_row_empty"] = dram_stats.get("row_empty")
+    # Far-memory link counters (present only when the remote tier is
+    # enabled; RunResult's pinned fields never change, so goldens hold).
+    for key in ("far_reads", "far_writes", "far_bytes", "far_serviced",
+                "link_out_wait", "link_ret_wait"):
+        if key in dram_stats.counters:
+            extra[key] = dram_stats.get(key)
     hier_stats = system.hierarchy.stats
     kilo = max(instructions, 1.0) / 1000.0
     # Scratchpad-backed fills are DX100 traffic, not core cache misses.

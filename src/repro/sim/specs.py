@@ -24,7 +24,7 @@ key          values                                              default
 ===========  ==================================================  =========
 benchmarks   registry names or globs                             all 12
 modes        baseline, dmp, dx100 (alias: ``configs``)           all three
-dram         ddr4, ddr5                                          ddr4
+dram         DRAM_PRESETS registry: ddr4, ddr5, cxl              ddr4
 tile         DX100 tile elements (dx100 tasks only)              config
 cores        core counts                                         4
 scale        quick, main                                         main
@@ -53,8 +53,8 @@ from dataclasses import asdict, replace
 from typing import Any
 
 from repro.common.config import (
-    CacheConfig, CoreConfig, DDR4Timing, DRAMConfig, DX100Config,
-    SystemConfig, ddr5_6400,
+    DRAM_PRESETS, CacheConfig, CoreConfig, DDR4Timing, DRAMConfig,
+    DX100Config, RemoteLinkConfig, SystemConfig, dram_preset,
 )
 from repro.sim.sweep import CONFIG_BUILDERS, MODES, SweepTask
 
@@ -82,7 +82,10 @@ _ALIASES = {
 
 _CHOICES = {
     "modes": set(MODES),
-    "dram": {"ddr4", "ddr5"},
+    # Derived from the preset registry beside DRAMConfig so a new memory
+    # technology (e.g. ``cxl``) is accepted here the moment it exists —
+    # the grammar can never lag the config layer.
+    "dram": set(DRAM_PRESETS),
     "scale": {"quick", "main"},
     "engine": {"batched", "scalar"},
     "frontend": {"batched", "scalar"},
@@ -193,9 +196,7 @@ def _match_benchmarks(patterns: list[int | str]) -> list[str]:
 # ---------------------------------------------------------------- expansion
 
 def _dram_preset(name: str) -> DRAMConfig:
-    if name == "ddr5":
-        return ddr5_6400()
-    return DRAMConfig()
+    return dram_preset(str(name))
 
 
 def expand_sweep_tasks(spec: dict[str, list[int | str]]) -> list[SweepTask]:
@@ -286,7 +287,15 @@ def system_config_from_dict(data: dict[str, Any]) -> SystemConfig:
     """
     d = dict(data)
     dram_d = dict(d["dram"])
-    dram = DRAMConfig(**{**dram_d, "timing": DDR4Timing(**dram_d["timing"])})
+    # Every nested frozen dataclass must be rebuilt explicitly — a plain
+    # ``DRAMConfig(**dram_d)`` would land raw dicts in the typed fields
+    # and silently break hashing/equality (tests/sim/test_cache_key_coverage
+    # pins that each nested type survives the round trip).
+    dram = DRAMConfig(**{
+        **dram_d,
+        "timing": DDR4Timing(**dram_d["timing"]),
+        "remote": RemoteLinkConfig(**dram_d["remote"]),
+    })
     dx100 = DX100Config(**d["dx100"]) if d.get("dx100") else None
     return SystemConfig(**{
         **d,

@@ -509,7 +509,8 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
                      audit: bool = False,
                      sample_every: int = 0,
                      engine: str | None = None,
-                     frontend: str | None = None) -> list[SweepTask]:
+                     frontend: str | None = None,
+                     dram: str | None = None) -> list[SweepTask]:
     """The Figure 9-12 grid: every benchmark under every configuration.
 
     ``engine`` overrides :attr:`DRAMConfig.engine` for every task
@@ -518,7 +519,10 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
     of each task's cache key, so oracle runs never alias batched ones.
     ``frontend`` does the same for :attr:`SystemConfig.frontend`
     (``"scalar"`` replays the grid on the per-op cache/core oracle — the
-    front-end half of the differential check).
+    front-end half of the differential check).  ``dram`` swaps the whole
+    memory technology via :data:`repro.common.config.DRAM_PRESETS`
+    (``"cxl"`` puts the pool behind the modeled far-memory link); it is
+    applied *before* the audit/engine overrides so those compose on top.
     """
     from repro.workloads import MAIN_BENCHMARKS, QUICK_BENCHMARKS
     registry = QUICK_BENCHMARKS if quick else MAIN_BENCHMARKS
@@ -530,6 +534,9 @@ def main_sweep_tasks(quick: bool = False, benchmarks: list[str] | None = None,
     for name in names:
         for mode in modes:
             config = CONFIG_BUILDERS[mode](cores)
+            if dram is not None:
+                from repro.common.config import dram_preset
+                config = replace(config, dram=dram_preset(dram))
             if audit:
                 config = replace(config,
                                  dram=replace(config.dram, audit=True))
@@ -553,12 +560,13 @@ def run_main_sweep(quick: bool = False,
                    sample_every: int = 0,
                    engine: str | None = None,
                    frontend: str | None = None,
+                   dram: str | None = None,
                    affinity: bool = False) -> SweepOutcome:
     """Run the main-evaluation grid and emit the structured JSON records
     (``results/sweep.json`` + ``BENCH_mainsweep.json``)."""
     tasks = main_sweep_tasks(quick=quick, benchmarks=benchmarks, modes=modes,
                              sample_every=sample_every, engine=engine,
-                             frontend=frontend)
+                             frontend=frontend, dram=dram)
     outcome = run_sweep(tasks, jobs=jobs, cache=cache, cache_dir=cache_dir,
                         affinity=affinity)
     outcome.extras["quick"] = quick

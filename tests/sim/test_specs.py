@@ -107,6 +107,40 @@ def test_dram_axis_selects_presets():
     assert timings == {DRAMConfig().timing.tCK, ddr5_6400().timing.tCK}
 
 
+def test_dram_choices_derive_from_the_preset_registry():
+    """The grammar's allowed set IS the config layer's registry — adding
+    a preset must never require touching the DSL (the hardcoded-set bug
+    this pins: ``cxl`` existed in the config but the spec rejected it)."""
+    from repro.common.config import DRAM_PRESETS
+    from repro.sim.specs import _CHOICES
+    assert _CHOICES["dram"] == set(DRAM_PRESETS)
+    assert "cxl" in _CHOICES["dram"]
+
+
+def test_unknown_dram_error_enumerates_the_registry():
+    """The error path names every valid preset, cxl included."""
+    with pytest.raises(SpecError, match=r"cxl.*ddr4.*ddr5|takes.*cxl"):
+        parse_spec("dram=hbm")
+
+
+def test_dram_cxl_expands_with_the_remote_link_enabled():
+    tasks = expand_sweep_tasks(parse_spec(
+        "benchmarks=IS modes=baseline,dx100 dram=cxl scale=quick"))
+    assert tasks, "cxl must be a legal dram value"
+    for task in tasks:
+        assert task.config.dram.remote.enabled
+    # And it round-trips through the campaign manifest bitwise.
+    rebuilt = sweep_task_from_dict(sweep_task_to_dict(tasks[0]))
+    assert rebuilt == tasks[0]
+    assert rebuilt.config.dram.remote.enabled
+    assert rebuilt.key() == tasks[0].key()
+
+
+def test_serve_axis_accepts_cxl():
+    params = expand_serve_params(parse_spec("tenants=2 dram=cxl"))
+    assert [p["dram"] for p in params] == ["cxl"]
+
+
 def test_serve_axis_expands_tenants_by_dram_by_aggressor():
     params = expand_serve_params(parse_spec("tenants=1:4 dram=ddr4,ddr5"))
     assert len(params) == 3 * 2       # tenants 1,2,4 x two DRAM presets
